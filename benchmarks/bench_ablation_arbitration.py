@@ -1,0 +1,50 @@
+"""Ablation: how much priority should the channel multiplexer enforce?
+
+The paper leaves open "if the extensive amount of priority information
+used by phop is indeed necessary" (§4).  The hop schemes already encode
+progress in the virtual-channel class; this ablation additionally lets
+the physical-channel multiplexer *act* on it — strict
+highest-class-first arbitration instead of fair round-robin — and
+measures the effect on phop and nbc at heavy uniform load.  (Either
+policy preserves deadlock freedom: arbitration order never adds wait-for
+edges.)
+"""
+
+import dataclasses
+
+from benchmarks.conftest import active_profile
+from repro.experiments.profiles import apply_profile
+from repro.experiments.runner import run_point
+from repro.simulator.config import SimulationConfig
+
+
+def bench_channel_arbitration(once):
+    profile = active_profile()
+    base = apply_profile(
+        SimulationConfig(offered_load=0.8, seed=111), profile
+    )
+
+    def run():
+        results = {}
+        for algorithm in ("phop", "nbc"):
+            for policy in ("round_robin", "highest_class"):
+                results[(algorithm, policy)] = run_point(
+                    dataclasses.replace(
+                        base, algorithm=algorithm, mux_policy=policy
+                    )
+                )
+        return results
+
+    results = once(run)
+    print(f"\nChannel-arbitration ablation at load 0.8 ({profile}):")
+    for (algorithm, policy), result in results.items():
+        print(
+            f"  {algorithm:>4} / {policy:<13}: "
+            f"util={result.achieved_utilization:.3f}  "
+            f"latency={result.average_latency:7.1f}  "
+            f"p99={result.latency_percentiles.get(99, 0):6.0f}"
+        )
+    # Both policies must sustain heavy load; report the difference rather
+    # than assert a winner (the paper leaves the question open).
+    for key, result in results.items():
+        assert result.achieved_utilization > 0.3, key

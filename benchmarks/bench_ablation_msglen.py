@@ -1,0 +1,73 @@
+"""Ablation: message length (paper §3 parameter discussion).
+
+The paper fixes messages at 16 flits while noting that 16-, 20- and
+24-flit messages are all common in the literature.  This ablation sweeps
+message length for e-cube and nbc and checks the two structural
+expectations: latency grows roughly linearly with length at low load
+(the pipelined m_l + d - 1 term), and nbc's throughput advantage over
+e-cube persists across lengths.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import active_profile
+from repro.experiments.profiles import apply_profile
+from repro.experiments.runner import run_point
+from repro.simulator.config import SimulationConfig
+
+LENGTHS = (8, 16, 24)
+
+
+def bench_message_length(once):
+    profile = active_profile()
+    base = apply_profile(SimulationConfig(seed=110), profile)
+
+    def run():
+        results = {}
+        for length in LENGTHS:
+            for name, load in (("ecube", 0.7), ("nbc", 0.7)):
+                results[(name, length)] = run_point(
+                    dataclasses.replace(
+                        base,
+                        algorithm=name,
+                        message_length=length,
+                        offered_load=load,
+                    )
+                )
+            results[("low", length)] = run_point(
+                dataclasses.replace(
+                    base,
+                    algorithm="ecube",
+                    message_length=length,
+                    offered_load=0.05,
+                )
+            )
+        return results
+
+    results = once(run)
+    print(f"\nMessage-length ablation ({profile} profile):")
+    for length in LENGTHS:
+        low = results[("low", length)].average_latency
+        ecube = results[("ecube", length)]
+        nbc = results[("nbc", length)]
+        print(
+            f"  m_l={length:2d}: low-load latency={low:6.1f}  "
+            f"ecube@0.7 util={ecube.achieved_utilization:.3f}  "
+            f"nbc@0.7 util={nbc.achieved_utilization:.3f}"
+        )
+    # Low-load latency tracks the pipelined term (m_l + d_bar - 1).
+    low8 = results[("low", 8)].average_latency
+    low24 = results[("low", 24)].average_latency
+    assert low24 - low8 == _approx(16, rel=0.35)
+    # nbc's advantage holds for every message length.
+    for length in LENGTHS:
+        assert (
+            results[("nbc", length)].achieved_utilization
+            > results[("ecube", length)].achieved_utilization
+        )
+
+
+def _approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

@@ -1,0 +1,47 @@
+"""Ablation: adding virtual channels to e-cube (paper §4 future work).
+
+The paper's conclusion cites Dally's virtual-channel flow control result
+— "additional virtual channels improve the performance of e-cube for
+uniform traffic" — as a study to run.  This benchmark runs it: e-cube
+with 1, 2 and 4 lanes per dateline class under heavy uniform load, and
+asserts the predicted monotone throughput improvement.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import active_profile
+from repro.experiments.profiles import apply_profile
+from repro.experiments.runner import run_point
+from repro.simulator.config import SimulationConfig
+
+
+def bench_ecube_extra_virtual_channels(once):
+    profile = active_profile()
+    base = apply_profile(
+        SimulationConfig(offered_load=0.8, seed=109), profile
+    )
+
+    def run():
+        results = {}
+        for lanes, name in ((1, "ecube"), (2, "ecubex2"), (4, "ecubex4")):
+            results[lanes] = run_point(
+                dataclasses.replace(base, algorithm=name)
+            )
+        return results
+
+    results = once(run)
+    print(f"\ne-cube with extra VC lanes, uniform load 0.8 ({profile}):")
+    for lanes, result in results.items():
+        print(
+            f"  {lanes} lane(s) ({2 * lanes:2d} VCs): "
+            f"util={result.achieved_utilization:.3f}  "
+            f"latency={result.average_latency:7.1f}"
+        )
+    assert (
+        results[4].achieved_utilization
+        > results[1].achieved_utilization
+    ), "Dally: extra virtual channels must raise e-cube throughput"
+    assert (
+        results[2].achieved_utilization
+        >= 0.95 * results[1].achieved_utilization
+    )

@@ -1,0 +1,53 @@
+"""Engine micro-benchmarks: simulated cycles per second.
+
+Not a paper artifact — these track the simulator's own performance so
+regressions in the hot paths (routing, channel multiplexing, flit
+movement) are visible.  Uses real multi-round pytest-benchmark timing
+since single steps are fast.
+"""
+
+import pytest
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import Engine
+
+
+def _warm_engine(algorithm: str, offered_load: float) -> Engine:
+    config = SimulationConfig(
+        radix=8,
+        n_dims=2,
+        algorithm=algorithm,
+        offered_load=offered_load,
+        seed=42,
+    )
+    engine = Engine(config)
+    engine.run_cycles(1500)  # reach steady state before timing
+    return engine
+
+
+@pytest.mark.parametrize("algorithm", ["ecube", "2pn", "nbc", "phop"])
+def bench_steady_state_cycles(benchmark, algorithm):
+    engine = _warm_engine(algorithm, offered_load=0.6)
+    benchmark.pedantic(
+        engine.run_cycles, args=(200,), rounds=5, iterations=1
+    )
+    assert engine.conservation_check()
+
+
+def bench_low_load_cycles(benchmark):
+    engine = _warm_engine("ecube", offered_load=0.05)
+    benchmark.pedantic(
+        engine.run_cycles, args=(500,), rounds=5, iterations=1
+    )
+    assert engine.conservation_check()
+
+
+def bench_engine_construction(benchmark):
+    """Fabric + traffic analytics setup cost for the paper's 16x16 torus."""
+    config = SimulationConfig(algorithm="phop", seed=1)
+
+    def build():
+        return Engine(config)
+
+    engine = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert engine.fabric.num_vcs == 17

@@ -1,0 +1,44 @@
+"""Extension: Glass & Ni's transpose counter-claim (paper Section 3.4).
+
+The paper concedes that turn-model algorithms like nlast beat e-cube "for
+other types of nonuniform traffic such as matrix transpose" (Glass & Ni's
+own result, on meshes).  This extension experiment runs matrix-transpose
+traffic on a 2-D mesh — the setting of the original claim — and checks
+that nlast's partial adaptivity does pay off there, completing the
+paper's discussion with data.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import active_profile
+from repro.experiments.profiles import apply_profile
+from repro.experiments.runner import run_point
+from repro.simulator.config import SimulationConfig
+
+
+def bench_transpose_on_mesh(once):
+    profile = active_profile()
+    base = apply_profile(
+        SimulationConfig(
+            topology="mesh", traffic="transpose", offered_load=0.5, seed=108
+        ),
+        profile,
+    )
+
+    def run():
+        return {
+            name: run_point(dataclasses.replace(base, algorithm=name))
+            for name in ("ecube", "nlast", "nbc")
+        }
+
+    results = once(run)
+    print(f"\nMatrix transpose on a mesh ({profile} profile, load 0.5):")
+    for name, result in results.items():
+        print(
+            f"  {name:>5}: util={result.achieved_utilization:.3f}  "
+            f"latency={result.average_latency:7.1f}"
+        )
+    assert (
+        results["nlast"].achieved_utilization
+        > results["ecube"].achieved_utilization
+    ), "Glass & Ni: turn-model adaptivity should win on transpose traffic"

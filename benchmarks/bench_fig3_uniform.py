@@ -1,0 +1,19 @@
+"""Paper Figure 3: uniform traffic of 16-flit worms on a 2-D torus.
+
+Regenerates both panels (average latency and achieved channel utilization
+vs offered load) for all six algorithms and asserts the claims the paper
+draws from the figure: hop schemes far above e-cube, e-cube at least
+matching nlast, equal low-load latencies, phop >= nhop.
+"""
+
+from benchmarks.conftest import BENCH_LOADS, active_profile, report
+from repro.experiments.paper_figures import check_figure3, figure3
+
+
+def bench_figure3_uniform(once):
+    profile = active_profile()
+    series = once(
+        figure3, profile=profile, offered_loads=BENCH_LOADS, seed=101
+    )
+    report(f"Figure 3 — uniform traffic ({profile} profile)", series,
+           check_figure3(series))

@@ -1,0 +1,22 @@
+"""Paper Figure 4: 4% hotspot traffic to the max-coordinate node.
+
+Asserts the paper's hotspot claims: the hop schemes keep a large margin
+over e-cube, e-cube beats nlast, and nbc at least matches nhop (the
+virtual-channel balance effect the paper highlights for hotspot traffic).
+"""
+
+from benchmarks.conftest import BENCH_LOADS, active_profile, report
+from repro.experiments.paper_figures import check_figure4, figure4
+
+
+def bench_figure4_hotspot(once):
+    profile = active_profile()
+    series = once(
+        figure4,
+        profile=profile,
+        offered_loads=BENCH_LOADS,
+        hotspot_fraction=0.04,
+        seed=102,
+    )
+    report(f"Figure 4 — 4% hotspot traffic ({profile} profile)", series,
+           check_figure4(series))

@@ -1,0 +1,22 @@
+"""Paper Figure 5: local traffic (radius-3 neighbourhood, 0.4 locality).
+
+Asserts the figure's distinctive claims: 2pn beats e-cube under local
+traffic (the one pattern where it does), nlast has the lowest peak
+throughput, the hop schemes lead, and nbc at least matches phop.
+"""
+
+from benchmarks.conftest import BENCH_LOADS, active_profile, report
+from repro.experiments.paper_figures import check_figure5, figure5
+
+
+def bench_figure5_local(once):
+    profile = active_profile()
+    series = once(
+        figure5,
+        profile=profile,
+        offered_loads=BENCH_LOADS,
+        radius=3,
+        seed=103,
+    )
+    report(f"Figure 5 — local traffic ({profile} profile)", series,
+           check_figure5(series))

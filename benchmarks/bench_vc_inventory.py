@@ -1,0 +1,63 @@
+"""The paper's virtual-channel inventory (Sections 2 and 4) as a table.
+
+Prints the VC budget per algorithm for the paper's 16x16 torus plus other
+radices, checks the quoted numbers (17 / 9 / 9 / 4), and times the routing
+functions themselves — candidate generation is the per-hop hardware cost
+the paper's complexity discussion is about.
+"""
+
+import pytest
+
+from repro.routing.registry import ALGORITHM_NAMES, make_algorithm
+from repro.topology.torus import Torus
+
+#: Paper-quoted virtual-channel budgets for the 16x16 torus.
+PAPER_BUDGETS = {"ecube": 2, "2pn": 4, "phop": 17, "nhop": 9, "nbc": 9}
+
+
+def bench_vc_inventory_table(once):
+    def build():
+        rows = {}
+        for radix in (4, 8, 16):
+            torus = Torus(radix, 2)
+            rows[radix] = {
+                name: make_algorithm(name, torus).num_virtual_channels
+                for name in ALGORITHM_NAMES
+            }
+        return rows
+
+    rows = once(build)
+    print("\nVirtual channels per physical channel (2-D torus):")
+    header = "radix  " + "  ".join(f"{n:>6}" for n in ALGORITHM_NAMES)
+    print(header)
+    for radix, row in rows.items():
+        print(
+            f"{radix:>5}  "
+            + "  ".join(f"{row[name]:>6}" for name in ALGORITHM_NAMES)
+        )
+    for name, expected in PAPER_BUDGETS.items():
+        assert rows[16][name] == expected, (
+            f"{name}: paper says {expected} VCs on 16^2, got {rows[16][name]}"
+        )
+
+
+@pytest.mark.parametrize("name", ALGORITHM_NAMES)
+def bench_candidate_generation(benchmark, name):
+    """Routing-function cost per hop decision (the node-complexity angle)."""
+    torus = Torus(16, 2)
+    algorithm = make_algorithm(name, torus)
+    pairs = [
+        (src, dst)
+        for src in range(0, torus.num_nodes, 37)
+        for dst in range(0, torus.num_nodes, 41)
+        if src != dst
+    ]
+    states = [algorithm.new_state(src, dst) for src, dst in pairs]
+
+    def decide():
+        total = 0
+        for (src, dst), state in zip(pairs, states):
+            total += len(algorithm.candidates(state, src, dst))
+        return total
+
+    assert benchmark(decide) > 0

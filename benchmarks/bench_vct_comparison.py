@@ -1,0 +1,27 @@
+"""Paper Section 3.4: the virtual cut-through diagnostic experiment.
+
+The paper explains 2pn's poor wormhole showing by rerunning 2pn, nbc and
+e-cube under virtual cut-through: with blocked packets buffered out of the
+network, 2pn performs as well as nbc and better than e-cube — so the
+deficit is a wormhole-specific penalty for routing without hop-priority
+information.  This benchmark regenerates that comparison.
+"""
+
+from benchmarks.conftest import BENCH_LOADS, active_profile, report
+from repro.experiments.paper_figures import check_vct, vct_comparison
+
+
+def bench_vct_section34(once):
+    profile = active_profile()
+    series = once(
+        vct_comparison,
+        profile=profile,
+        offered_loads=BENCH_LOADS,
+        algorithms=("ecube", "2pn", "nbc"),
+        seed=104,
+    )
+    report(
+        f"Section 3.4 — virtual cut-through rerun ({profile} profile)",
+        series,
+        check_vct(series),
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Hotspot study: how adaptivity copes with a contended lock node.
+
+The paper motivates hotspot traffic with multiprocessors that place a
+critical section's lock on one node (Figure 4).  This example compares
+e-cube and the hop schemes as the hotspot fraction grows, then tries the
+paper's suggested extension — spreading the hot traffic over multiple
+hotspot nodes (mentioned in Section 3 but not simulated there).
+
+Run:  python examples/hotspot_study.py
+"""
+
+import dataclasses
+
+from repro import SimulationConfig, run_point
+from repro.topology import Torus
+
+
+def run(config: SimulationConfig) -> str:
+    result = run_point(config)
+    return (
+        f"util={result.achieved_utilization:.3f} "
+        f"latency={result.average_latency:7.1f}"
+    )
+
+
+def main() -> None:
+    base = SimulationConfig(
+        radix=8,
+        n_dims=2,
+        traffic="hotspot",
+        offered_load=0.5,
+        warmup_cycles=1500,
+        sample_cycles=1000,
+        max_samples=4,
+        seed=7,
+    )
+
+    print("=== Single hotspot, growing fraction (offered load 0.5) ===")
+    for fraction in (0.0, 0.04, 0.10):
+        print(f"\nhotspot fraction {fraction:.0%}:")
+        for algorithm in ("ecube", "2pn", "nbc"):
+            config = dataclasses.replace(
+                base,
+                algorithm=algorithm,
+                traffic_options={"fraction": fraction},
+            )
+            print(f"  {algorithm:>5}: {run(config)}")
+
+    print("\n=== Spreading 8% hot traffic over 1, 2, 4 hotspot nodes ===")
+    torus = Torus(base.radix, base.n_dims)
+    corners = [
+        torus.node((7, 7)),
+        torus.node((0, 0)),
+        torus.node((7, 0)),
+        torus.node((0, 7)),
+    ]
+    for count in (1, 2, 4):
+        config = dataclasses.replace(
+            base,
+            algorithm="nbc",
+            traffic_options={
+                "fraction": 0.08,
+                "hotspots": corners[:count],
+            },
+        )
+        print(f"  nbc with {count} hotspot node(s): {run(config)}")
+    print(
+        "\nSpreading the hot destinations over several nodes relieves the "
+        "ejection bottleneck, as the paper anticipates for software "
+        "combining."
+    )
+
+
+if __name__ == "__main__":
+    main()

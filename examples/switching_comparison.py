@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Wormhole vs virtual cut-through vs store-and-forward.
+
+Recreates the paper's Section 3.4 insight in miniature: the same routing
+algorithm behaves very differently under the three switching techniques,
+and 2pn's weakness is specific to wormhole.  Also shows the latency
+structure (SAF pays a full store per hop, pipelined switching does not).
+
+Run:  python examples/switching_comparison.py
+"""
+
+import dataclasses
+
+from repro import SimulationConfig, run_point
+from repro.stats.metrics import ideal_latency
+
+
+def main() -> None:
+    base = SimulationConfig(
+        radix=8,
+        n_dims=2,
+        traffic="uniform",
+        message_length=16,
+        warmup_cycles=1500,
+        sample_cycles=1000,
+        max_samples=4,
+        seed=5,
+    )
+
+    print("=== Latency structure at low load (offered 0.05) ===")
+    print(
+        "ideal pipelined latency for the mean 4-hop message:",
+        ideal_latency(16, 4),
+        "cycles; SAF stores 16 flits per hop instead.",
+    )
+    for switching in ("wormhole", "vct", "saf"):
+        config = dataclasses.replace(
+            base, switching=switching, offered_load=0.05, algorithm="ecube"
+        )
+        result = run_point(config)
+        print(
+            f"  {switching:>8}: latency={result.average_latency:6.1f} "
+            f"cycles"
+        )
+
+    print("\n=== The Section 3.4 effect at offered load 0.7 ===")
+    header = f"{'':>8}" + "".join(f"{name:>10}" for name in ("ecube", "2pn", "nbc"))
+    print(header + "   (normalized throughput)")
+    for switching in ("wormhole", "vct"):
+        cells = []
+        for algorithm in ("ecube", "2pn", "nbc"):
+            config = dataclasses.replace(
+                base,
+                switching=switching,
+                algorithm=algorithm,
+                offered_load=0.7,
+            )
+            result = run_point(config)
+            cells.append(f"{result.achieved_utilization:>10.3f}")
+        print(f"{switching:>8}" + "".join(cells))
+    print(
+        "\nUnder VCT a blocked packet drains out of the network, so "
+        "2pn's lack of hop-priority information stops hurting — the "
+        "paper's explanation for its wormhole results."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Trace-driven evaluation: program communication patterns, not Poisson.
+
+The paper's conclusion plans to evaluate the routing algorithms on
+communication traces from real parallel programs.  This example builds
+two synthetic program traces — a stencil solver's halo exchange and a
+repeated global reduction — replays each under three routing algorithms
+with blocking-send semantics, and compares *makespans* (time to finish
+the whole program's communication), which is what an application
+ultimately feels.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.experiments.trace_runner import compare_algorithms
+from repro.simulator.config import SimulationConfig
+from repro.topology import Torus
+from repro.traffic import reduction_trace, stencil_trace
+
+ALGORITHMS = ("ecube", "nlast", "nbc")
+
+
+def show(title, results):
+    print(f"\n=== {title} ===")
+    best = min(results.values(), key=lambda r: r.makespan)
+    for name, result in results.items():
+        marker = "  <- fastest" if result is best else ""
+        print(
+            f"  {name:>5}: makespan={result.makespan:6d} cycles  "
+            f"avg latency={result.average_latency:6.1f}  "
+            f"max={result.max_latency:5d}{marker}"
+        )
+
+
+def main() -> None:
+    torus = Torus(8, 2)
+    config = SimulationConfig(
+        radix=8, n_dims=2, message_length=16, seed=11
+    )
+
+    # A tight stencil: every node exchanges halos with its 4 neighbours
+    # every 40 cycles, 20 iterations.
+    stencil = stencil_trace(torus, iterations=20, period=40)
+    show(
+        f"Stencil halo exchange ({len(stencil)} messages)",
+        compare_algorithms(config, stencil, ALGORITHMS),
+    )
+
+    # Global reductions to node (7,7) — all traffic converges on one
+    # corner, a structured cousin of the paper's hotspot pattern.
+    reduction = reduction_trace(
+        torus, torus.node((7, 7)), rounds=12, period=60
+    )
+    show(
+        f"Tree reduction to (7,7) ({len(reduction)} messages)",
+        compare_algorithms(config, reduction, ALGORITHMS),
+    )
+
+    print(
+        "\nNearest-neighbour traffic barely distinguishes the algorithms "
+        "(minimal paths are one hop), while the reduction's convergecast "
+        "rewards adaptive schemes that spread the fan-in — trace replay "
+        "exposes structure that stochastic loads average away."
+    )
+
+
+if __name__ == "__main__":
+    main()

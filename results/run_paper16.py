@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Documented reduced-budget 16x16 run behind EXPERIMENTS.md §PAPER-16².
+
+The paper's network at the paper's message length, with a reduced load
+ladder and sample budget (3 samples of 1200 cycles after a 3000-cycle
+warm-up) so the run finishes in tens of minutes on one core.  Full-budget
+equivalents: ``REPRO_PROFILE=paper repro-sweep --figure 3``.
+"""
+
+import dataclasses
+import sys
+
+from repro.experiments.paper_figures import check_figure3
+from repro.experiments.sweep import sweep_algorithms
+from repro.experiments.tables import (
+    format_figure,
+    peak_summary,
+    write_csv,
+)
+from repro.experiments.paper_figures import format_checks
+from repro.routing.registry import ALGORITHM_NAMES
+from repro.simulator.config import SimulationConfig
+
+LOADS = (0.2, 0.4, 0.7, 1.0)
+
+
+def main() -> int:
+    config = SimulationConfig(
+        radix=16,
+        n_dims=2,
+        traffic="uniform",
+        message_length=16,
+        warmup_cycles=3000,
+        sample_cycles=1200,
+        gap_cycles=240,
+        min_samples=3,
+        max_samples=3,
+        seed=1,
+    )
+    series = sweep_algorithms(
+        config, ALGORITHM_NAMES, LOADS, verbose=True
+    )
+    print(format_figure(series, "Figure 3 on the paper's 16x16 torus "
+                                "(reduced sample budget)"))
+    print()
+    print(peak_summary(series))
+    checks = check_figure3(series)
+    print()
+    print(format_checks(checks))
+    with open("results/fig3_paper16_reduced.csv", "w", newline="") as f:
+        write_csv(series, f)
+    return 0 if all(ok for _, ok in checks) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Setup shim: lets ``pip install -e .`` work without the ``wheel`` package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,139 @@
+"""Channel dependency graphs (Dally & Seitz) for the routing algorithms.
+
+A resource is one virtual channel, identified by ``(link_index,
+vc_class)``.  The *may-wait* dependency graph has an edge r1 -> r2 whenever
+some message, in some reachable routing state, can hold r1 while requesting
+r2.  Acyclicity of this graph is a **sufficient** condition for deadlock
+freedom (for adaptive algorithms it is not necessary — a message waits on
+the whole candidate set, so cycles of may-wait edges can be unrealizable;
+cf. Duato).
+
+The deterministic e-cube graph and the rank-layered hop-scheme graphs are
+acyclic and the test suite asserts so on small tori.  The nlast graph is
+acyclic by the wrap-count layering.  The tag-based 2pn graph *does* contain
+may-wait cycles (mixed wrap/non-wrap messages inside one tag class); the
+paper's deadlock-freedom claim for 2pn rests on the stronger reachability
+argument of its companion report, and the simulator's watchdog plus long
+overload stress tests provide the empirical evidence here.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.routing.base import RoutingAlgorithm
+
+#: One virtual channel: (link index, virtual-channel class).
+Resource = Tuple[int, int]
+
+
+def _state_key(state: Any) -> Any:
+    """A hashable fingerprint of a routing-state object."""
+    if state is None or isinstance(state, (int, str, tuple)):
+        return state
+    slots = getattr(type(state), "__slots__", None)
+    if slots is not None:
+        return tuple(getattr(state, name) for name in slots)
+    return tuple(sorted(vars(state).items()))  # pragma: no cover
+
+
+def build_dependency_graph(
+    algorithm: RoutingAlgorithm,
+) -> Dict[Resource, Set[Resource]]:
+    """Enumerate every reachable hold->request dependency of *algorithm*.
+
+    Walks all (source, destination) pairs and, per pair, all reachable
+    (routing state, node, held resource) configurations.  Exponential only
+    in the path diversity of a single pair, which is small on the 4- and
+    6-ary test tori this is used on.
+    """
+    topology = algorithm.topology
+    edges: Dict[Resource, Set[Resource]] = {}
+    for src in range(topology.num_nodes):
+        for dst in range(topology.num_nodes):
+            if src == dst:
+                continue
+            _walk_pair(algorithm, src, dst, edges)
+    return edges
+
+
+def _walk_pair(
+    algorithm: RoutingAlgorithm,
+    src: int,
+    dst: int,
+    edges: Dict[Resource, Set[Resource]],
+) -> None:
+    initial = algorithm.new_state(src, dst)
+    frontier: List[Tuple[Any, int, Optional[Resource]]] = [
+        (initial, src, None)
+    ]
+    seen: Set[Tuple[Any, int, Optional[Resource]]] = set()
+    while frontier:
+        state, node, held = frontier.pop()
+        marker = (_state_key(state), node, held)
+        if marker in seen:
+            continue
+        seen.add(marker)
+        if node == dst:
+            continue
+        for link, vc_class in algorithm.candidates(state, node, dst):
+            resource = (link.index, vc_class)
+            if held is not None:
+                edges.setdefault(held, set()).add(resource)
+            next_state = algorithm.advance(
+                copy.copy(state), node, link, vc_class
+            )
+            frontier.append((next_state, link.dst, resource))
+
+
+def find_cycle(
+    edges: Dict[Resource, Set[Resource]]
+) -> Optional[List[Resource]]:
+    """A cycle in the graph, or None when it is acyclic.
+
+    Iterative three-color depth-first search; returns the resources along
+    one cycle for diagnostics.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Resource, int] = {}
+    parent: Dict[Resource, Optional[Resource]] = {}
+
+    for root in edges:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[Resource, iter]] = [(root, iter(edges.get(root, ())))]
+        color[root] = GRAY
+        parent[root] = None
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                state = color.get(child, WHITE)
+                if state == GRAY:
+                    # Found a back edge: reconstruct the cycle.
+                    cycle = [child, node]
+                    walker = parent[node]
+                    while walker is not None and walker != child:
+                        cycle.append(walker)
+                        walker = parent[walker]
+                    cycle.reverse()
+                    return cycle
+                if state == WHITE:
+                    color[child] = GRAY
+                    parent[child] = node
+                    stack.append((child, iter(edges.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def is_acyclic(edges: Dict[Resource, Set[Resource]]) -> bool:
+    """True when the dependency graph has no cycle."""
+    return find_cycle(edges) is None
+
+
+__all__ = ["Resource", "build_dependency_graph", "find_cycle", "is_acyclic"]

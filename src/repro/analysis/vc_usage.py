@@ -1,0 +1,114 @@
+"""Virtual-channel load-balance metrics.
+
+The paper attributes nbc's edge over nhop (and, under hotspot traffic,
+over phop) to balancing traffic across virtual-channel classes: in the
+plain hop schemes every message starts in class 0, so low-numbered
+channels saturate while high-numbered ones idle.  These helpers quantify
+that from the per-class flit counts the simulator collects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.routing.hop_base import HopClassScheme
+from repro.traffic.base import TrafficPattern
+from repro.util.errors import ConfigurationError
+
+
+def usage_fractions(vc_class_usage: Sequence[int]) -> List[float]:
+    """Per-class share of all flit crossings (sums to 1; zeros kept)."""
+    total = sum(vc_class_usage)
+    if total == 0:
+        return [0.0] * len(vc_class_usage)
+    return [count / total for count in vc_class_usage]
+
+
+def coefficient_of_variation(vc_class_usage: Sequence[int]) -> float:
+    """Std-dev / mean of per-class usage: 0 = perfectly balanced.
+
+    The paper's balance claim predicts a lower value for nbc than for
+    nhop under the same traffic.
+    """
+    if not vc_class_usage:
+        return 0.0
+    mean = sum(vc_class_usage) / len(vc_class_usage)
+    if mean == 0:
+        return 0.0
+    variance = sum(
+        (count - mean) ** 2 for count in vc_class_usage
+    ) / len(vc_class_usage)
+    return math.sqrt(variance) / mean
+
+
+def top_class_share(vc_class_usage: Sequence[int]) -> float:
+    """Share of traffic on the busiest class (1/len = perfectly balanced)."""
+    total = sum(vc_class_usage)
+    if total == 0:
+        return 0.0
+    return max(vc_class_usage) / total
+
+
+def expected_class_usage(
+    scheme: HopClassScheme, traffic: TrafficPattern
+) -> List[float]:
+    """Analytic per-class share of flit traffic for a fixed-start hop scheme.
+
+    For phop and nhop the class sequence along a path is independent of
+    the path chosen (classes depend only on hop index / node parities,
+    which alternate), so the expected share of traffic on each class can
+    be computed exactly from the traffic pattern's destination
+    distribution — no simulation needed.  The low-load measured usage
+    should converge to this; the gap at high load (and for nbc, which
+    chooses its starting class by congestion) is precisely the paper's
+    load-balance story.
+
+    Raises :class:`ConfigurationError` for schemes with a starting-class
+    choice (nbc): their usage is congestion-dependent.
+    """
+    topology = scheme.topology
+    # A representative node of each parity: class_after_hop only looks at
+    # the departing node's parity, and parities alternate along any path,
+    # so the class sequence of a (src, dst) pair is path-independent.
+    probe = [_probe_node(scheme, 0), _probe_node(scheme, 1)]
+    shares = [0.0] * scheme.num_virtual_channels
+    total_weight = 0.0
+    for src in range(topology.num_nodes):
+        distribution = traffic.destination_distribution(src)
+        for dst, probability in distribution.items():
+            initial = scheme.initial_classes(src, dst)
+            if len(initial) != 1:
+                raise ConfigurationError(
+                    f"{scheme.name} chooses its starting class at run "
+                    "time; its class usage has no closed form"
+                )
+            vc_class = initial[0]
+            node_parity = topology.parity(src)
+            hops = topology.distance(src, dst)
+            for _ in range(hops):
+                shares[vc_class] += probability
+                vc_class = scheme.class_after_hop(
+                    vc_class, probe[node_parity]
+                )
+                node_parity ^= 1
+            total_weight += probability * hops
+    if total_weight:
+        shares = [share / total_weight for share in shares]
+    return shares
+
+
+def _probe_node(scheme: HopClassScheme, parity: int) -> int:
+    topology = scheme.topology
+    for node in range(topology.num_nodes):
+        if topology.parity(node) == parity:
+            return node
+    raise AssertionError("topology has nodes of only one parity")
+
+
+__all__ = [
+    "coefficient_of_variation",
+    "expected_class_usage",
+    "top_class_share",
+    "usage_fractions",
+]

@@ -1,0 +1,17 @@
+"""Experiment harness: single points, load sweeps, and paper figures."""
+
+from repro.experiments.profiles import PROFILES, apply_profile, current_profile
+from repro.experiments.runner import run_point
+from repro.experiments.sweep import run_sweep, sweep_algorithms
+from repro.experiments.tables import format_table, write_csv
+
+__all__ = [
+    "PROFILES",
+    "apply_profile",
+    "current_profile",
+    "format_table",
+    "run_point",
+    "run_sweep",
+    "sweep_algorithms",
+    "write_csv",
+]

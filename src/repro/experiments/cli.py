@@ -1,0 +1,119 @@
+"""Command-line interface: ``repro-sweep``.
+
+Examples::
+
+    repro-sweep --figure 3 --profile quick
+    repro-sweep --algorithms ecube,nbc --traffic uniform --loads 0.2,0.4,0.6
+    repro-sweep --figure 4 --profile scaled --csv fig4.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import paper_figures
+from repro.experiments.profiles import PROFILES, apply_profile
+from repro.experiments.sweep import PAPER_LOADS, sweep_algorithms
+from repro.experiments.tables import format_figure, peak_summary, write_csv
+from repro.routing.registry import ALGORITHM_NAMES
+from repro.simulator.config import SimulationConfig
+
+_FIGURES = {
+    "3": (paper_figures.figure3, paper_figures.check_figure3),
+    "4": (paper_figures.figure4, paper_figures.check_figure4),
+    "5": (paper_figures.figure5, paper_figures.check_figure5),
+    "vct": (paper_figures.vct_comparison, paper_figures.check_vct),
+}
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description=(
+            "Regenerate figures from Boppana & Chalasani (ISCA 1993) or "
+            "run custom load sweeps."
+        ),
+    )
+    parser.add_argument(
+        "--figure",
+        choices=sorted(_FIGURES),
+        help="paper artifact to regenerate (3, 4, 5, or vct)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default=None,
+        help="run profile (default: REPRO_PROFILE env var or 'scaled')",
+    )
+    parser.add_argument(
+        "--algorithms",
+        default=",".join(ALGORITHM_NAMES),
+        help="comma-separated algorithm names",
+    )
+    parser.add_argument(
+        "--traffic",
+        default="uniform",
+        help="traffic pattern for custom sweeps",
+    )
+    parser.add_argument(
+        "--loads",
+        default=None,
+        help="comma-separated offered loads (default: the paper's ladder)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--csv", default=None, help="also write results to this CSV file"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    loads = (
+        PAPER_LOADS
+        if args.loads is None
+        else tuple(float(x) for x in args.loads.split(","))
+    )
+
+    if args.figure is not None:
+        run, check = _FIGURES[args.figure]
+        series = run(
+            profile=args.profile,
+            offered_loads=loads,
+            algorithms=algorithms,
+            seed=args.seed,
+            verbose=not args.quiet,
+        )
+        title = f"Paper figure {args.figure}"
+        checks = check(series)
+    else:
+        config = SimulationConfig(traffic=args.traffic, seed=args.seed)
+        if args.profile is not None:
+            config = apply_profile(config, args.profile)
+        series = sweep_algorithms(
+            config, algorithms, loads, verbose=not args.quiet
+        )
+        title = f"Custom sweep: {args.traffic} traffic"
+        checks = []
+
+    print(format_figure(series, title))
+    print()
+    print(peak_summary(series))
+    if checks:
+        print()
+        print(paper_figures.format_checks(checks))
+    if args.csv:
+        with open(args.csv, "w", newline="") as stream:
+            write_csv(series, stream)
+        print(f"\nwrote {args.csv}")
+    return 0 if all(passed for _, passed in checks) else (1 if checks else 0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

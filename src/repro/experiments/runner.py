@@ -1,0 +1,138 @@
+"""Run one simulation point to convergence (paper Section 3 methodology).
+
+The schedule: warm up, then alternate sampling periods and gaps.  Fresh
+random streams are installed before each sample, statistics gathered during
+samples are checked against the dual convergence criteria, and the run
+stops at convergence or at the sample cap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.routing.base import RoutingAlgorithm
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import Engine
+from repro.stats.convergence import ConvergenceChecker
+from repro.stats.counters import SampleRecord
+from repro.stats.summary import SimulationResult
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficPattern
+
+
+def run_point(
+    config: SimulationConfig,
+    topology: Optional[Topology] = None,
+    algorithm: Optional[RoutingAlgorithm] = None,
+    traffic: Optional[TrafficPattern] = None,
+    engine: Optional[Engine] = None,
+) -> SimulationResult:
+    """Simulate one configuration until converged (or the sample cap).
+
+    Pre-built topology/algorithm/traffic objects may be supplied to avoid
+    reconstruction cost inside sweeps; they must be mutually consistent.
+    """
+    if engine is None:
+        engine = Engine(config, topology, algorithm, traffic)
+    checker = ConvergenceChecker(
+        engine.traffic.hop_class_weights(),
+        relative_error=config.relative_error,
+        min_samples=config.min_samples,
+    )
+
+    engine.run_cycles(config.warmup_cycles)
+    engine.fabric.reset_flit_counters()  # VC usage measured post-warmup
+
+    samples: List[SampleRecord] = []
+    converged = False
+    while True:
+        engine.advance_streams()
+        engine.start_sample()
+        engine.run_cycles(config.sample_cycles)
+        samples.append(engine.end_sample())
+        if checker.converged(samples):
+            converged = True
+            break
+        if len(samples) >= config.max_samples:
+            converged = False
+            break
+        if config.gap_cycles:
+            engine.run_cycles(config.gap_cycles)
+
+    return summarize(config, engine, samples, converged, checker)
+
+
+def summarize(
+    config: SimulationConfig,
+    engine: Engine,
+    samples: List[SampleRecord],
+    converged: bool,
+    checker: ConvergenceChecker,
+) -> SimulationResult:
+    """Fold the collected samples into a :class:`SimulationResult`."""
+    estimate = checker.estimate(samples)
+    sample_cycles = sum(sample.cycles for sample in samples)
+    flits_moved = sum(sample.flits_moved for sample in samples)
+    generated = sum(sample.generated for sample in samples)
+    refused = sum(sample.refused for sample in samples)
+    num_links = engine.topology.num_links
+    message_length = config.message_length
+
+    delivered = 0
+    total_hops = 0
+    total_wait = 0
+    pooled_latencies = []
+    for sample in samples:
+        delivered += sample.delivered
+        for latency, hops in sample.deliveries:
+            total_hops += hops
+            total_wait += latency - (message_length + hops - 1)
+            pooled_latencies.append(latency)
+
+    achieved = (
+        flits_moved / (sample_cycles * num_links) if sample_cycles else 0.0
+    )
+    delivered_throughput = (
+        total_hops * message_length / (sample_cycles * num_links)
+        if sample_cycles
+        else 0.0
+    )
+
+    percentiles: dict = {}
+    if pooled_latencies:
+        pooled_latencies.sort()
+        last = len(pooled_latencies) - 1
+        for mark in (50, 95, 99):
+            percentiles[mark] = float(
+                pooled_latencies[min(last, (last * mark) // 100)]
+            )
+
+    vc_usage = [0] * engine.fabric.num_vcs
+    for channel in engine.fabric.channels:
+        for vc in channel.vcs:
+            vc_usage[vc.vc_class] += vc.flits_carried_total
+
+    return SimulationResult(
+        algorithm=engine.algorithm.name,
+        traffic=engine.traffic.name,
+        offered_load=config.offered_load,
+        injection_rate=engine.injection_rate,
+        average_latency=estimate.mean,
+        latency_error_bound=estimate.error_bound,
+        average_wait=(total_wait / delivered) if delivered else 0.0,
+        achieved_utilization=achieved,
+        delivered_throughput=delivered_throughput,
+        samples_used=len(samples),
+        converged=converged,
+        cycles_simulated=engine.cycle,
+        messages_generated=generated,
+        messages_delivered=delivered,
+        messages_refused=refused,
+        latency_percentiles=percentiles,
+        hop_class_latency=dict(estimate.stratum_means),
+        vc_class_usage=vc_usage,
+        notes=f"switching={config.switching}",
+    )
+
+
+__all__ = ["run_point", "summarize"]

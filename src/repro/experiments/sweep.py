@@ -1,0 +1,85 @@
+"""Load sweeps: the x-axis of every figure in the paper."""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.runner import run_point
+from repro.simulator.config import SimulationConfig
+from repro.stats.summary import SimulationResult
+
+#: The offered loads used by the paper's figures (fraction of capacity).
+PAPER_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def run_sweep(
+    base_config: SimulationConfig,
+    offered_loads: Sequence[float] = PAPER_LOADS,
+    verbose: bool = False,
+) -> List[SimulationResult]:
+    """Run *base_config* at each offered load, sharing the built objects."""
+    topology = base_config.build_topology()
+    algorithm = base_config.build_algorithm(topology)
+    traffic = base_config.build_traffic(topology)
+    results = []
+    for load in offered_loads:
+        config = dataclasses.replace(base_config, offered_load=load)
+        result = run_point(config, topology, algorithm, traffic)
+        results.append(result)
+        if verbose:
+            print(f"  {result}", file=sys.stderr)
+    return results
+
+
+def sweep_algorithms(
+    base_config: SimulationConfig,
+    algorithms: Iterable[str],
+    offered_loads: Sequence[float] = PAPER_LOADS,
+    verbose: bool = False,
+) -> Dict[str, List[SimulationResult]]:
+    """One load sweep per algorithm — the data behind one paper figure."""
+    series: Dict[str, List[SimulationResult]] = {}
+    for name in algorithms:
+        if verbose:
+            print(f"sweeping {name} ...", file=sys.stderr)
+        config = dataclasses.replace(base_config, algorithm=name)
+        series[name] = run_sweep(config, offered_loads, verbose=verbose)
+    return series
+
+
+def peak_throughput(results: Sequence[SimulationResult]) -> float:
+    """Highest achieved utilization across a sweep (a figure's headline)."""
+    return max(
+        (result.achieved_utilization for result in results), default=0.0
+    )
+
+
+def saturation_load(
+    results: Sequence[SimulationResult],
+    latency_factor: float = 3.0,
+) -> Optional[float]:
+    """First offered load whose latency exceeds ``factor`` x the low-load one.
+
+    A simple operational definition of the saturation point used by the
+    shape checks; None when the sweep never saturates.
+    """
+    if not results:
+        return None
+    base = results[0].average_latency
+    if base <= 0:
+        return None
+    for result in results:
+        if result.average_latency > latency_factor * base:
+            return result.offered_load
+    return None
+
+
+__all__ = [
+    "PAPER_LOADS",
+    "peak_throughput",
+    "run_sweep",
+    "saturation_load",
+    "sweep_algorithms",
+]

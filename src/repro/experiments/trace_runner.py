@@ -1,0 +1,102 @@
+"""Run a recorded communication trace to completion (paper §4 future work).
+
+Unlike the steady-state runner, a trace run has a natural end: every send
+event admitted and every message delivered.  The figure of merit is the
+**makespan** — the cycle the last message completes — together with the
+usual latency statistics over the trace's messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import Engine
+from repro.traffic.trace import MessageTrace
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class TraceResult:
+    """Outcome of replaying one trace under one configuration."""
+
+    algorithm: str
+    events: int
+    makespan: int
+    messages_delivered: int
+    average_latency: float
+    max_latency: int
+    achieved_utilization: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}: {self.events} events in "
+            f"{self.makespan} cycles "
+            f"(latency avg {self.average_latency:.1f}, "
+            f"max {self.max_latency})"
+        )
+
+
+def run_trace(
+    config: SimulationConfig,
+    trace: MessageTrace,
+    max_cycles: Optional[int] = None,
+) -> TraceResult:
+    """Replay *trace* under *config* until every message is delivered.
+
+    *max_cycles* guards against runaway runs (default: generous multiple
+    of the trace horizon); exceeding it raises
+    :class:`ConfigurationError` since it means the configuration cannot
+    carry the workload.
+    """
+    engine = Engine(config, trace=trace)
+    if max_cycles is None:
+        max_cycles = (trace.horizon + 1) * 50 + 200_000
+    engine.start_sample()
+    while not (engine.trace_exhausted and engine.in_flight == 0):
+        if engine.cycle >= max_cycles:
+            raise ConfigurationError(
+                f"trace did not complete within {max_cycles} cycles "
+                f"({engine.in_flight} messages still in flight)"
+            )
+        engine.step()
+    sample = engine.end_sample()
+
+    latencies = [latency for latency, _ in sample.deliveries]
+    makespan = engine.cycle
+    utilization = (
+        sample.flits_moved / (makespan * engine.topology.num_links)
+        if makespan
+        else 0.0
+    )
+    return TraceResult(
+        algorithm=engine.algorithm.name,
+        events=len(trace),
+        makespan=makespan,
+        messages_delivered=sample.delivered,
+        average_latency=(
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
+        max_latency=max(latencies) if latencies else 0,
+        achieved_utilization=utilization,
+    )
+
+
+def compare_algorithms(
+    config: SimulationConfig,
+    trace: MessageTrace,
+    algorithms,
+) -> Dict[str, TraceResult]:
+    """Replay the same trace under several routing algorithms."""
+    import dataclasses
+
+    results = {}
+    for name in algorithms:
+        results[name] = run_trace(
+            dataclasses.replace(config, algorithm=name), trace
+        )
+    return results
+
+
+__all__ = ["TraceResult", "compare_algorithms", "run_trace"]

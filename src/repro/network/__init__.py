@@ -1,0 +1,14 @@
+"""Runtime network state for the flit-level simulator.
+
+The :mod:`repro.topology` package describes the static graph; this package
+holds the mutable per-cycle state: messages (worms), virtual channels with
+their flit buffers, physical channels with their time-multiplexers, and the
+fabric that ties them together.
+"""
+
+from repro.network.fabric import Fabric
+from repro.network.message import Message
+from repro.network.physical_channel import PhysicalChannel
+from repro.network.virtual_channel import VirtualChannel
+
+__all__ = ["Fabric", "Message", "PhysicalChannel", "VirtualChannel"]

@@ -1,0 +1,66 @@
+"""The fabric: every physical/virtual channel of a network, instantiated.
+
+Pure state container — the per-cycle behaviour lives in
+:mod:`repro.simulator.engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.network.physical_channel import PhysicalChannel
+from repro.network.virtual_channel import VirtualChannel
+from repro.topology.base import Topology
+from repro.util.validation import require_positive
+
+
+class Fabric:
+    """All channel state for one (topology, virtual-channel count) pair."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        num_vcs: int,
+        vc_capacity: int,
+    ) -> None:
+        require_positive(num_vcs, "num_vcs")
+        require_positive(vc_capacity, "vc_capacity")
+        self.topology = topology
+        self.num_vcs = num_vcs
+        self.vc_capacity = vc_capacity
+        self.channels: List[PhysicalChannel] = [
+            PhysicalChannel(link, num_vcs, vc_capacity)
+            for link in topology.links
+        ]
+
+    def channel(self, link_index: int) -> PhysicalChannel:
+        return self.channels[link_index]
+
+    def virtual_channels(self) -> Iterator[VirtualChannel]:
+        """Iterate every virtual channel in the fabric."""
+        for channel in self.channels:
+            yield from channel.vcs
+
+    def total_flits_moved(self) -> int:
+        """Lifetime flit-crossings summed over all physical channels."""
+        return sum(channel.flits_moved for channel in self.channels)
+
+    def reset_flit_counters(self) -> None:
+        """Zero the utilization counters (used between sampling periods)."""
+        for channel in self.channels:
+            channel.flits_moved = 0
+            for vc in channel.vcs:
+                vc.flits_carried_total = 0
+
+    def occupied_flits(self) -> int:
+        """Flits currently buffered anywhere in the network."""
+        return sum(vc.occupancy for vc in self.virtual_channels())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Fabric({self.topology!r}, num_vcs={self.num_vcs}, "
+            f"vc_capacity={self.vc_capacity})"
+        )
+
+
+__all__ = ["Fabric"]

@@ -1,0 +1,121 @@
+"""Physical channels: flit-wide links time-multiplexed among virtual channels.
+
+The paper's model: multiple virtual channels share one physical channel's
+bandwidth in a time-multiplexed manner with a flit transfer time of one
+cycle (``f_t = 1``).  Each cycle a physical channel may move at most one
+flit, chosen round-robin among the virtual channels that are *ready*:
+reserved, with a settled flit available upstream (present since the start
+of the cycle) and a buffer slot that was free at the start of the cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.network.virtual_channel import VirtualChannel
+from repro.topology.base import Link
+
+
+class PhysicalChannel:
+    """Runtime state of one unidirectional link."""
+
+    __slots__ = (
+        "link",
+        "vcs",
+        "_rr_next",
+        "owned_count",
+        "flits_moved",
+        "last_transmit_cycle",
+    )
+
+    def __init__(self, link: Link, num_vcs: int, vc_capacity: int) -> None:
+        self.link = link
+        self.vcs: List[VirtualChannel] = [
+            VirtualChannel(link, vc_class, vc_capacity)
+            for vc_class in range(num_vcs)
+        ]
+        self._rr_next = 0  # round-robin scan start
+        #: Virtual channels currently reserved (drives the active-link set).
+        self.owned_count = 0
+        #: Lifetime flits moved, for channel-utilization measurement.
+        self.flits_moved = 0
+        #: Enforces the one-flit-per-cycle bandwidth across retry passes.
+        self.last_transmit_cycle = -1
+
+    def vc(self, vc_class: int) -> VirtualChannel:
+        return self.vcs[vc_class]
+
+    def transmit(
+        self,
+        cycle: int,
+        store_and_forward: bool,
+        ideal: bool,
+        highest_class_first: bool = False,
+    ) -> Optional[VirtualChannel]:
+        """Move one flit on the highest-priority ready VC, if any.
+
+        In store-and-forward mode a flit may only cross once its entire
+        packet is assembled upstream (at the source node, or fully received
+        into the upstream buffer); this single extra condition turns the
+        wormhole engine into a SAF engine.
+
+        *ideal* selects the flow-control model for buffer space: under
+        ideal flow control a flit may enter a slot freed earlier in the
+        same cycle (hardware whose flits shift simultaneously on the clock
+        edge), so a contiguous worm streams at full rate through one-flit
+        buffers.  Under conservative flow control only slots free at the
+        start of the cycle count.  Either way, only *settled* flits —
+        present since the start of the cycle — may move, so no flit ever
+        crosses two links in one cycle.
+
+        *highest_class_first* replaces the fair round-robin multiplexer
+        with a strict priority scan from the top virtual-channel class
+        down.  For hop schemes the class encodes hops travelled, so this
+        gives channel bandwidth to the most-progressed worms first — an
+        arbitration-level reading of the paper's "priority information"
+        (see ``benchmarks/bench_ablation_arbitration.py``).
+        """
+        if self.last_transmit_cycle == cycle:
+            return None
+        vcs = self.vcs
+        count = len(vcs)
+        start = count - 1 if highest_class_first else self._rr_next
+        for offset in range(count):
+            vc = vcs[(start - offset) if highest_class_first
+                     else (start + offset) % count]
+            owner = vc.owner
+            if owner is None or vc.flits_in >= owner.length:
+                # Free, or the whole worm already passed through: once the
+                # tail is in, vc.upstream may be reused by another message,
+                # so this guard must come before any upstream access.
+                continue
+            if ideal:
+                if vc.occupancy >= vc.capacity:
+                    continue
+            elif not vc.had_space(cycle):
+                continue
+            upstream = vc.upstream
+            if upstream is None:
+                if owner.flits_to_inject <= 0:
+                    continue
+            else:
+                if upstream.settled_flits(cycle) <= 0:
+                    continue
+                if store_and_forward and upstream.flits_in < owner.length:
+                    continue
+            vc.receive_flit(cycle)
+            self.flits_moved += 1
+            self.last_transmit_cycle = cycle
+            if not highest_class_first:
+                self._rr_next = (start + offset + 1) % count
+            return vc
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PhysicalChannel({self.link!r}, vcs={len(self.vcs)}, "
+            f"owned={self.owned_count})"
+        )
+
+
+__all__ = ["PhysicalChannel"]

@@ -1,0 +1,47 @@
+"""Deadlock-free minimal wormhole routing algorithms.
+
+This package is the paper's primary contribution: six algorithms with
+different degrees of adaptivity, all sharing the
+:class:`~repro.routing.base.RoutingAlgorithm` interface consumed by the
+flit-level simulator.
+
+==========  ===================  ==========================================
+Name        Adaptivity           Virtual channels per physical channel
+==========  ===================  ==========================================
+``ecube``   non-adaptive         2 on tori (dateline), 1 on meshes
+``nlast``   partially adaptive   2 on tori (dateline), 1 on meshes
+``2pn``     fully adaptive       2**n (tag-addressed)
+``phop``    fully adaptive       diameter + 1 (positive-hop classes)
+``nhop``    fully adaptive       ceil(diameter/2) + 1 (negative-hop)
+``nbc``     fully adaptive       same as ``nhop`` (bonus cards)
+==========  ===================  ==========================================
+"""
+
+from repro.routing.base import RouteChoice, RoutingAlgorithm
+from repro.routing.bonus_cards import NegativeHopBonusCards
+from repro.routing.ecube import ECube
+from repro.routing.hop_base import HopClassScheme
+from repro.routing.negative_hop import NegativeHop
+from repro.routing.north_last import NorthLast
+from repro.routing.positive_hop import PositiveHop
+from repro.routing.registry import (
+    ALGORITHM_NAMES,
+    available_algorithms,
+    make_algorithm,
+)
+from repro.routing.two_power_n import TwoPowerN
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "ECube",
+    "HopClassScheme",
+    "NegativeHop",
+    "NegativeHopBonusCards",
+    "NorthLast",
+    "PositiveHop",
+    "RouteChoice",
+    "RoutingAlgorithm",
+    "TwoPowerN",
+    "available_algorithms",
+    "make_algorithm",
+]

@@ -1,0 +1,46 @@
+"""The negative-hop-with-bonus-cards (nbc) fully-adaptive scheme.
+
+The plain hop schemes use low-numbered virtual channels far more than
+high-numbered ones (every message starts in class 0; only messages between
+diametrically opposite nodes ever reach the top class).  nbc rebalances: at
+injection each message receives
+
+    bonus cards  b  =  (max possible negative hops in the network)
+                       - (negative hops this message will take)
+
+and may start its first hop in *any* class 0..b, preferring the least
+congested.  After the first hop it behaves exactly like nhop relative to
+its chosen starting class, so the top class ever used is
+``b + negative_hops = max_negative_hops`` and the virtual-channel budget is
+the same nine channels as nhop on a 16x16 torus.
+
+The Lemma-1 rank is unchanged (``2 * class + parity``), so deadlock freedom
+is inherited from nhop regardless of the starting class.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.routing.negative_hop import NegativeHop
+from repro.topology.base import Topology
+
+
+class NegativeHopBonusCards(NegativeHop):
+    """nhop plus load balancing across starting classes (paper's ``nbc``)."""
+
+    name = "nbc"
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+        self._max_negative_hops = topology.max_negative_hops()
+
+    def bonus_cards(self, src: int, dst: int) -> int:
+        """Bonus cards granted at the source (paper's formula, Section 2.1)."""
+        return self._max_negative_hops - self.negative_hops_required(src, dst)
+
+    def initial_classes(self, src: int, dst: int) -> Sequence[int]:
+        return range(self.bonus_cards(src, dst) + 1)
+
+
+__all__ = ["NegativeHopBonusCards"]

@@ -1,0 +1,79 @@
+"""The negative-hop (nhop) fully-adaptive scheme.
+
+The network's nodes are 2-colored by coordinate-sum parity (possible exactly
+when the graph is bipartite: any mesh, or a torus of even radix).  A hop
+from an odd node to an even node is *negative*; a message that has taken
+*i* negative hops occupies class *i*.  On any minimal path at most every
+other hop is negative, so ``ceil(diameter / 2) + 1`` classes suffice — nine
+virtual channels per physical channel on a 16x16 torus, roughly half of
+phop's seventeen.
+
+Lemma-1 rank: ``2 * class + parity(node)``.  A hop from an even node keeps
+the class and lands on an odd node (+1); a hop from an odd node increments
+the class and lands on an even node (+1); either way the rank strictly
+increases, so the derived wormhole algorithm is deadlock-free.
+
+The paper notes that odd-radix tori admit comparable schemes but defers the
+(involved) construction to a separate report; we follow it and refuse
+odd-radix tori explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.routing.hop_base import HopClassScheme
+from repro.topology.base import Topology
+from repro.topology.mesh import Mesh
+from repro.util.errors import RoutingError
+
+
+def check_bipartite(topology: Topology, algorithm_name: str) -> None:
+    """Reject topologies whose parity coloring is not a proper 2-coloring."""
+    if isinstance(topology, Mesh):
+        return  # meshes are always bipartite
+    if topology.radix % 2 != 0:
+        raise RoutingError(
+            f"{algorithm_name} requires an even-radix torus (the parity "
+            "2-coloring must be proper); the paper defers odd-radix "
+            f"designs to a separate report. Got radix {topology.radix}."
+        )
+
+
+class NegativeHop(HopClassScheme):
+    """Negative-hops-taken virtual-channel classes (paper's ``nhop``)."""
+
+    name = "nhop"
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+        check_bipartite(topology, self.name)
+        self._num_classes = topology.max_negative_hops() + 1
+
+    @property
+    def num_virtual_channels(self) -> int:
+        return self._num_classes
+
+    def initial_classes(self, src: int, dst: int) -> Sequence[int]:
+        return (0,)
+
+    def class_after_hop(self, vc_class: int, from_node: int) -> int:
+        # A hop departing an odd node lands on an even node: negative hop.
+        return vc_class + self.topology.parity(from_node)
+
+    def rank(self, vc_class: int, node: int) -> int:
+        return 2 * vc_class + self.topology.parity(node)
+
+    def negative_hops_required(self, src: int, dst: int) -> int:
+        """Negative hops on any minimal path from *src* to *dst*.
+
+        Node parities alternate along a path, so the count depends only on
+        the path length and the source parity, not on the path chosen.
+        """
+        length = self.topology.distance(src, dst)
+        if self.topology.parity(src):
+            return (length + 1) // 2
+        return length // 2
+
+
+__all__ = ["NegativeHop", "check_bipartite"]

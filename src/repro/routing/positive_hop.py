@@ -1,0 +1,41 @@
+"""The positive-hop (phop) fully-adaptive scheme.
+
+Gopal's positive-hop SAF algorithm places a message that has completed *i*
+hops in a buffer of class *i*; since a minimal path is at most the network
+diameter long, ``diameter + 1`` buffer classes (and hence virtual channels
+per physical channel — 17 on a 16x16 torus) suffice.  Ranks are simply the
+class numbers and increase by one each hop, so Lemma 1 applies directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.routing.hop_base import HopClassScheme
+from repro.topology.base import Topology
+
+
+class PositiveHop(HopClassScheme):
+    """Hops-taken-so-far virtual-channel classes (paper's ``phop``)."""
+
+    name = "phop"
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+        self._num_classes = topology.diameter + 1
+
+    @property
+    def num_virtual_channels(self) -> int:
+        return self._num_classes
+
+    def initial_classes(self, src: int, dst: int) -> Sequence[int]:
+        return (0,)
+
+    def class_after_hop(self, vc_class: int, from_node: int) -> int:
+        return vc_class + 1
+
+    def rank(self, vc_class: int, node: int) -> int:
+        return vc_class
+
+
+__all__ = ["PositiveHop"]

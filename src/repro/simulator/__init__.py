@@ -1,0 +1,18 @@
+"""The cycle-driven flit-level simulator.
+
+One engine implements all three switching techniques the paper touches:
+
+* **wormhole** — single-flit virtual-channel buffers; a blocked worm holds
+  its chain of channels (the paper's main mode);
+* **virtual cut-through** — buffers deep enough for a whole packet, so a
+  blocked packet drains out of the network (Section 3.4's experiment);
+* **store-and-forward** — like VCT, but a packet must be fully buffered at
+  a node before its first flit moves on (the substrate the hop schemes'
+  deadlock-freedom argument is derived from).
+"""
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import Engine
+from repro.simulator.injection import InjectionController
+
+__all__ = ["Engine", "InjectionController", "SimulationConfig"]

@@ -1,0 +1,170 @@
+"""Simulation configuration.
+
+One :class:`SimulationConfig` fully determines a simulation point: network,
+algorithm, traffic, load, switching technique, congestion control, and the
+statistics schedule.  Experiments are reproducible from (config, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.registry import make_algorithm
+from repro.topology.base import Topology
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+from repro.traffic.base import TrafficPattern
+from repro.traffic.registry import make_traffic
+from repro.util.errors import ConfigurationError
+from repro.util.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+)
+
+#: Switching techniques understood by the engine.
+SWITCHING_MODES = ("wormhole", "vct", "saf")
+
+#: Adaptive output-selection policies.
+SELECTION_POLICIES = ("least_multiplexed", "random", "first")
+
+#: Flow-control models for buffer-space accounting.
+FLOW_CONTROL_MODES = ("ideal", "conservative")
+
+#: Physical-channel multiplexer policies.
+MUX_POLICIES = ("round_robin", "highest_class")
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to run one simulation point.
+
+    The defaults reproduce the paper's setup: a 16x16 torus with 16-flit
+    worms, wormhole switching, minimal virtual-channel buffers, and
+    input-buffer-limit congestion control.
+    """
+
+    # -- network ------------------------------------------------------------
+    radix: int = 16
+    n_dims: int = 2
+    topology: str = "torus"
+
+    # -- routing and switching ------------------------------------------------
+    algorithm: str = "ecube"
+    switching: str = "wormhole"
+    #: Flow-control model: "ideal" lets a flit enter a buffer slot freed
+    #: in the same cycle (simultaneous shift — the paper's single-flit
+    #: buffers stream at full rate), "conservative" only uses slots free
+    #: at the start of the cycle (credit-style; needs 2-flit buffers for
+    #: full-rate streaming).
+    flow_control: str = "ideal"
+    #: Flit-buffer depth per virtual channel.  None selects the natural
+    #: default: 1 flit for wormhole under ideal flow control (the paper's
+    #: node model), 2 under conservative flow control, a full packet for
+    #: VCT and SAF.
+    vc_buffer_depth: Optional[int] = None
+    #: How an adaptive router picks among several free candidate channels.
+    selection_policy: str = "least_multiplexed"
+    #: Physical-channel multiplexer: "round_robin" shares bandwidth
+    #: fairly among ready virtual channels (the paper's time-multiplexed
+    #: model); "highest_class" is a strict priority scan from the top
+    #: class down, giving the most-progressed worms bandwidth first.
+    mux_policy: str = "round_robin"
+
+    # -- traffic ------------------------------------------------------------
+    traffic: str = "uniform"
+    traffic_options: Dict[str, Any] = field(default_factory=dict)
+    offered_load: float = 0.2
+    message_length: int = 16
+
+    # -- congestion control ------------------------------------------------------
+    #: Max same-class messages simultaneously being injected per node;
+    #: None disables congestion control (paper Section 3 uses it enabled).
+    injection_limit: Optional[int] = 2
+
+    # -- statistics schedule (paper Section 3, "Convergence criteria") ------------
+    seed: int = 1
+    warmup_cycles: int = 3000
+    sample_cycles: int = 1500
+    gap_cycles: int = 300
+    min_samples: int = 3
+    max_samples: int = 10
+    relative_error: float = 0.05
+
+    # -- safety ------------------------------------------------------------
+    #: Cycles without any flit movement or channel grant (while traffic is
+    #: in flight) before the watchdog declares deadlock.
+    deadlock_threshold: int = 20000
+
+    def __post_init__(self) -> None:
+        require(self.topology in ("torus", "mesh"),
+                f"topology must be 'torus' or 'mesh', got {self.topology!r}")
+        require(self.switching in SWITCHING_MODES,
+                f"switching must be one of {SWITCHING_MODES}, "
+                f"got {self.switching!r}")
+        require(self.selection_policy in SELECTION_POLICIES,
+                f"selection_policy must be one of {SELECTION_POLICIES}, "
+                f"got {self.selection_policy!r}")
+        require(self.flow_control in FLOW_CONTROL_MODES,
+                f"flow_control must be one of {FLOW_CONTROL_MODES}, "
+                f"got {self.flow_control!r}")
+        require(self.mux_policy in MUX_POLICIES,
+                f"mux_policy must be one of {MUX_POLICIES}, "
+                f"got {self.mux_policy!r}")
+        require_positive(self.message_length, "message_length")
+        require_non_negative(self.offered_load, "offered_load")
+        require_positive(self.warmup_cycles, "warmup_cycles")
+        require_positive(self.sample_cycles, "sample_cycles")
+        require_non_negative(self.gap_cycles, "gap_cycles")
+        require_positive(self.min_samples, "min_samples")
+        require(self.max_samples >= self.min_samples,
+                "max_samples must be >= min_samples")
+        require(0 < self.relative_error < 1,
+                "relative_error must be in (0, 1)")
+        if self.vc_buffer_depth is not None:
+            require_positive(self.vc_buffer_depth, "vc_buffer_depth")
+        if self.injection_limit is not None:
+            require_positive(self.injection_limit, "injection_limit")
+
+    # -- builders -------------------------------------------------------------
+
+    def build_topology(self) -> Topology:
+        if self.topology == "torus":
+            return Torus(self.radix, self.n_dims)
+        return Mesh(self.radix, self.n_dims)
+
+    def build_algorithm(self, topology: Topology) -> RoutingAlgorithm:
+        return make_algorithm(self.algorithm, topology)
+
+    def build_traffic(self, topology: Topology) -> TrafficPattern:
+        return make_traffic(self.traffic, topology, **self.traffic_options)
+
+    def effective_buffer_depth(self) -> int:
+        """Buffer depth in flits after applying the per-mode default."""
+        if self.vc_buffer_depth is not None:
+            if (
+                self.switching in ("vct", "saf")
+                and self.vc_buffer_depth < self.message_length
+            ):
+                raise ConfigurationError(
+                    f"{self.switching} switching requires buffers holding a "
+                    f"whole packet ({self.message_length} flits); got depth "
+                    f"{self.vc_buffer_depth}"
+                )
+            return self.vc_buffer_depth
+        if self.switching == "wormhole":
+            return 1 if self.flow_control == "ideal" else 2
+        return self.message_length
+
+    def label(self) -> str:
+        """Compact run identifier for tables and logs."""
+        return (
+            f"{self.algorithm}/{self.traffic}@{self.offered_load:.2f}"
+            f" {self.radix}^{self.n_dims} {self.topology}"
+            f" {self.switching}"
+        )
+
+
+__all__ = ["SELECTION_POLICIES", "SWITCHING_MODES", "SimulationConfig"]

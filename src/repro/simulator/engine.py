@@ -1,0 +1,489 @@
+"""The cycle-driven flit-level network engine.
+
+Each simulated cycle has four phases:
+
+1. **Generation** — geometric arrivals produce messages; the
+   input-buffer-limit congestion control admits or refuses each one.
+2. **Ejection** — flits that settled in destination buffers last cycle
+   are consumed (before this cycle's transfers, so the final hop streams
+   at full rate); tail consumption completes the message and releases its
+   last channel.
+3. **Routing / virtual-channel allocation** — every message whose head flit
+   sits at a router (or at its source) and lacks a next channel asks its
+   routing algorithm for candidate (link, virtual-channel-class) pairs and
+   tries to reserve a free one.  Requests are served in FIFO order, the
+   paper's starvation-avoidance discipline; among several free candidates
+   the configurable selection policy picks one (default: the link whose
+   channel currently multiplexes the fewest worms).
+4. **Transmission** — every physical channel moves at most one flit,
+   round-robin among its ready virtual channels (the paper's
+   time-multiplexed bandwidth sharing with f_t = 1).
+
+Virtual channels are released as the tail drains past them, which is what
+makes the same engine model wormhole (1-flit buffers: a blocked worm spans
+many channels), virtual cut-through (packet-sized buffers: a blocked packet
+collapses into one buffer) and store-and-forward (packet-sized buffers plus
+the full-packet-before-forwarding rule) — the three switching techniques
+the paper compares in Section 3.4.
+
+A watchdog raises :class:`~repro.util.errors.DeadlockError` if traffic is
+in flight but nothing has moved for a long time; all six paper algorithms
+are deadlock-free, so it fires only on buggy or deliberately broken
+algorithms (it is exercised in the test suite with one of those).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.traffic.trace import MessageTrace
+
+from repro.network.fabric import Fabric
+from repro.network.message import Message
+from repro.network.physical_channel import PhysicalChannel
+from repro.network.virtual_channel import VirtualChannel
+from repro.routing.base import RoutingAlgorithm
+from repro.simulator.config import SimulationConfig
+from repro.simulator.injection import InjectionController
+from repro.stats.counters import SampleRecord
+from repro.topology.base import Topology
+from repro.traffic.arrivals import GeometricArrivals
+from repro.traffic.base import TrafficPattern
+from repro.traffic.load import offered_load_to_rate
+from repro.util.errors import DeadlockError
+from repro.util.rng import (
+    STREAM_ARRIVALS,
+    STREAM_DESTINATIONS,
+    STREAM_ROUTING,
+    RngStreams,
+)
+
+#: A routing candidate resolved to runtime objects.
+_Candidate = Tuple[VirtualChannel, PhysicalChannel]
+
+
+class Engine:
+    """One simulation instance: network state plus the cycle loop."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        topology: Optional[Topology] = None,
+        algorithm: Optional[RoutingAlgorithm] = None,
+        traffic: Optional[TrafficPattern] = None,
+        trace: Optional["MessageTrace"] = None,
+    ) -> None:
+        self.config = config
+        self.topology = topology if topology is not None else (
+            config.build_topology()
+        )
+        self.algorithm = algorithm if algorithm is not None else (
+            config.build_algorithm(self.topology)
+        )
+        self.traffic = traffic if traffic is not None else (
+            config.build_traffic(self.topology)
+        )
+        self.fabric = Fabric(
+            self.topology,
+            self.algorithm.num_virtual_channels,
+            config.effective_buffer_depth(),
+        )
+        self.rng = RngStreams(config.seed)
+        self.injection_rate = offered_load_to_rate(
+            config.offered_load,
+            self.topology,
+            config.message_length,
+            self.traffic.mean_distance(),
+        )
+        self.arrivals = GeometricArrivals(
+            self.topology.num_nodes, self.injection_rate
+        )
+        self.arrivals.start(0, self.rng.stream(STREAM_ARRIVALS))
+        self.controller = InjectionController(config.injection_limit)
+
+        # Trace-driven mode (paper §4 future work): replay recorded send
+        # events with blocking-send semantics instead of stochastic
+        # arrivals.
+        if trace is not None:
+            trace.validate_for(self.topology)
+            self._trace_events: Optional[Deque] = deque(trace)
+        else:
+            self._trace_events = None
+        self._trace_pending: Deque[Tuple[int, int]] = deque()
+
+        self.cycle = 0
+        self.in_flight = 0
+        self._msg_counter = 0
+        self._saf = config.switching == "saf"
+        self._ideal = config.flow_control == "ideal"
+        self._highest_class_first = config.mux_policy == "highest_class"
+        self._route_queue: Deque[Message] = deque()
+        # Insertion-ordered set of channels with >= 1 reserved VC, so the
+        # transmission scan touches only potentially active links and the
+        # iteration order is deterministic.
+        self._active_channels: Dict[PhysicalChannel, None] = {}
+        self._delivering: List[VirtualChannel] = []
+        self._last_progress = 0
+
+        # lifetime counters
+        self.flits_moved_total = 0
+        self.generated_total = 0
+        self.delivered_total = 0
+
+        # sampling state
+        self._sample: Optional[SampleRecord] = None
+        self._sample_flits_base = 0
+        self._sample_generated_base = 0
+        self._sample_refused_base = 0
+
+    # ------------------------------------------------------------------
+    # public driving interface
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        progressed = False
+        self._generate_arrivals()
+        if self._delivering:
+            # Ejection first: flits settled at the destination leave their
+            # buffers before this cycle's link transfers, so the final hop
+            # streams at full rate just like every other hop.
+            progressed |= self._eject()
+        if self._route_queue:
+            progressed |= self._route()
+        if self._active_channels:
+            progressed |= self._transmit()
+        if progressed:
+            self._last_progress = self.cycle
+        elif (
+            self.in_flight
+            and self.cycle - self._last_progress
+            > self.config.deadlock_threshold
+        ):
+            self._report_deadlock()
+        self.cycle += 1
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance the simulation by *cycles* cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def advance_streams(self) -> None:
+        """Switch to fresh random streams (between sampling periods)."""
+        self.rng.advance_epoch()
+        self.arrivals.reseed(self.cycle, self.rng.stream(STREAM_ARRIVALS))
+
+    # -- sampling --------------------------------------------------------
+
+    def start_sample(self) -> None:
+        """Begin recording a sampling period."""
+        assert self._sample is None, "a sample is already active"
+        self._sample = SampleRecord(self.cycle)
+        self._sample_flits_base = self.flits_moved_total
+        self._sample_generated_base = self.controller.admitted
+        self._sample_refused_base = self.controller.refused
+
+    def end_sample(self) -> SampleRecord:
+        """Stop recording and return the finished sample."""
+        sample = self._sample
+        assert sample is not None, "no sample is active"
+        sample.cycles = self.cycle - sample.start_cycle
+        sample.flits_moved = self.flits_moved_total - self._sample_flits_base
+        sample.generated = (
+            self.controller.admitted - self._sample_generated_base
+        )
+        sample.refused = self.controller.refused - self._sample_refused_base
+        self._sample = None
+        return sample
+
+    # ------------------------------------------------------------------
+    # phase 1: generation
+    # ------------------------------------------------------------------
+
+    def _generate_arrivals(self) -> None:
+        if self._trace_events is not None:
+            self._generate_trace_arrivals()
+            return
+        rng_arrivals = self.rng.stream(STREAM_ARRIVALS)
+        due = self.arrivals.pop_due(self.cycle, rng_arrivals)
+        if not due:
+            return
+        rng_dest = self.rng.stream(STREAM_DESTINATIONS)
+        for node in due:
+            self._generate(node, rng_dest)
+
+    def _generate_trace_arrivals(self) -> None:
+        events = self._trace_events
+        while events and events[0][0] <= self.cycle:
+            _, src, dst = events.popleft()
+            self._trace_pending.append((src, dst))
+        # Blocking-send semantics: refused events retry every cycle, in
+        # issue order, until congestion control admits them.
+        for _ in range(len(self._trace_pending)):
+            src, dst = self._trace_pending.popleft()
+            if not self._inject(src, dst):
+                self._trace_pending.append((src, dst))
+
+    @property
+    def trace_exhausted(self) -> bool:
+        """True once every trace event has been admitted (trace mode)."""
+        return not self._trace_events and not self._trace_pending
+
+    def _generate(self, src: int, rng: random.Random) -> None:
+        dst = self.traffic.sample_destination(src, rng)
+        if dst is not None:
+            self._inject(src, dst)
+
+    def _inject(self, src: int, dst: int) -> bool:
+        algorithm = self.algorithm
+        state = algorithm.new_state(src, dst)
+        msg_class = algorithm.message_class(src, dst, state)
+        if not self.controller.try_admit(src, msg_class):
+            return False
+        message = Message(
+            msg_id=self._msg_counter,
+            src=src,
+            dst=dst,
+            length=self.config.message_length,
+            distance=self.topology.distance(src, dst),
+            route_state=state,
+            msg_class=msg_class,
+            created_at=self.cycle,
+        )
+        self._msg_counter += 1
+        self.generated_total += 1
+        self.in_flight += 1
+        self._route_queue.append(message)
+        return True
+
+    # ------------------------------------------------------------------
+    # phase 2: routing / virtual-channel allocation
+    # ------------------------------------------------------------------
+
+    def _route(self) -> bool:
+        queue = self._route_queue
+        policy = self.config.selection_policy
+        rng = self.rng.stream(STREAM_ROUTING)
+        progressed = False
+        for _ in range(len(queue)):
+            message = queue.popleft()
+            candidates = message.cached_candidates
+            if candidates is None:
+                candidates = self._compute_candidates(message)
+                message.cached_candidates = candidates
+            chosen = self._select(candidates, policy, rng)
+            if chosen is None:
+                queue.append(message)  # retry next cycle, FIFO order kept
+                continue
+            self._allocate(message, chosen)
+            progressed = True
+        return progressed
+
+    def _compute_candidates(self, message: Message) -> List[_Candidate]:
+        choices = self.algorithm.candidates(
+            message.route_state, message.head_node, message.dst
+        )
+        channels = self.fabric.channels
+        resolved: List[_Candidate] = []
+        for link, vc_class in choices:
+            channel = channels[link.index]
+            resolved.append((channel.vcs[vc_class], channel))
+        return resolved
+
+    @staticmethod
+    def _select(
+        candidates: List[_Candidate],
+        policy: str,
+        rng: random.Random,
+    ) -> Optional[_Candidate]:
+        if len(candidates) == 1:
+            entry = candidates[0]
+            return entry if entry[0].owner is None else None
+        free = [entry for entry in candidates if entry[0].owner is None]
+        if not free:
+            return None
+        if len(free) == 1 or policy == "first":
+            return free[0]
+        if policy == "random":
+            return free[rng.randrange(len(free))]
+        # least_multiplexed: fewest already-reserved VCs on the physical
+        # channel — the "least congested" local choice the paper ascribes
+        # to adaptive routers; ties broken randomly.
+        best_load = min(entry[1].owned_count for entry in free)
+        best = [entry for entry in free if entry[1].owned_count == best_load]
+        if len(best) == 1:
+            return best[0]
+        return best[rng.randrange(len(best))]
+
+    def _allocate(self, message: Message, chosen: _Candidate) -> None:
+        vc, channel = chosen
+        current = message.head_node  # before the new hop is appended
+        vc.reserve(message)  # captures the upstream VC from message.path
+        channel.owned_count += 1
+        if channel.owned_count == 1:
+            self._active_channels[channel] = None
+        message.path.append(vc)
+        message.route_state = self.algorithm.advance(
+            message.route_state, current, vc.link, vc.vc_class
+        )
+        message.cached_candidates = None
+
+    # ------------------------------------------------------------------
+    # phase 3: transmission
+    # ------------------------------------------------------------------
+
+    def _transmit(self) -> bool:
+        saf = self._saf
+        ideal = self._ideal
+        priority = self._highest_class_first
+        cycle = self.cycle
+        moved = 0
+        pending = list(self._active_channels)
+        while pending:
+            retry: List[PhysicalChannel] = []
+            progress = False
+            for channel in pending:
+                vc = channel.transmit(cycle, saf, ideal, priority)
+                if vc is None:
+                    if ideal and channel.last_transmit_cycle != cycle:
+                        retry.append(channel)
+                    continue
+                progress = True
+                moved += 1
+                self._handle_flit_arrival(vc)
+            if not ideal or not progress:
+                break
+            # Ideal flow control: slots freed this pass may unblock
+            # channels that failed earlier in the same cycle (simultaneous
+            # shift on the clock edge).  Iterate to the fixpoint; the
+            # settled-flits rule still caps every flit at one hop/cycle.
+            pending = retry
+        self.flits_moved_total += moved
+        return moved > 0
+
+    def _handle_flit_arrival(self, vc: VirtualChannel) -> None:
+        owner = vc.owner
+        if vc is owner.path[-1] and vc.link.dst != owner.dst:
+            # The worm's front advanced into an intermediate router:
+            # request the next channel once the router has seen the
+            # head flit (wormhole/VCT) or the whole packet (SAF).
+            trigger = owner.length if self._saf else 1
+            if vc.flits_in == trigger:
+                self._route_queue.append(owner)
+        elif vc.link.dst == owner.dst and vc.flits_in == 1:
+            self._delivering.append(vc)
+        upstream = vc.upstream
+        if upstream is None:
+            if owner.flits_to_inject == 0:
+                self.controller.injection_complete(
+                    owner.src, owner.msg_class
+                )
+        elif upstream.drained:
+            self._release(upstream, owner)
+
+    # ------------------------------------------------------------------
+    # phase 4: ejection
+    # ------------------------------------------------------------------
+
+    def _eject(self) -> bool:
+        cycle = self.cycle
+        still: List[VirtualChannel] = []
+        ejected_any = False
+        for vc in self._delivering:
+            owner = vc.owner
+            # Only flits present since the start of the cycle are consumed,
+            # giving the paper's exact zero-load latency m_l + d - 1.
+            flits = vc.settled_flits(cycle)
+            if flits:
+                vc.occupancy -= flits
+                vc.flits_out += flits
+                owner.flits_ejected += flits
+                ejected_any = True
+            if owner.flits_ejected >= owner.length:
+                self._complete(vc, owner)
+            else:
+                still.append(vc)
+        self._delivering = still
+        return ejected_any
+
+    def _complete(self, vc: VirtualChannel, owner: Message) -> None:
+        owner.delivered_at = self.cycle
+        self._release(vc, owner)
+        assert not owner.path, "delivered message still holds channels"
+        self.in_flight -= 1
+        self.delivered_total += 1
+        sample = self._sample
+        if sample is not None:
+            sample.deliveries.append(
+                (owner.delivered_at - owner.created_at, owner.distance)
+            )
+
+    # ------------------------------------------------------------------
+    # shared bookkeeping
+    # ------------------------------------------------------------------
+
+    def _release(self, vc: VirtualChannel, owner: Message) -> None:
+        assert owner.path[0] is vc, "releasing out of tail order"
+        owner.path.popleft()
+        vc.release()
+        channel = self.fabric.channels[vc.link.index]
+        channel.owned_count -= 1
+        if channel.owned_count == 0:
+            self._active_channels.pop(channel, None)
+
+    def _report_deadlock(self) -> None:
+        stuck = []
+        for message in list(self._route_queue)[:8]:
+            stuck.append(
+                f"msg#{message.msg_id} {message.src}->{message.dst} "
+                f"head at {message.head_node}"
+            )
+        raise DeadlockError(
+            f"no progress for {self.config.deadlock_threshold} cycles at "
+            f"cycle {self.cycle} with {self.in_flight} messages in flight "
+            f"(algorithm={self.algorithm.name}); sample of waiting "
+            f"messages: {'; '.join(stuck) or 'none in route queue'}"
+        )
+
+    # ------------------------------------------------------------------
+    # introspection helpers (used by tests and analysis)
+    # ------------------------------------------------------------------
+
+    def network_flits(self) -> int:
+        """Flits currently buffered in the network."""
+        return self.fabric.occupied_flits()
+
+    def conservation_check(self) -> bool:
+        """Invariant: every admitted flit is at the source, in flight or ejected.
+
+        Used by integration and property tests.
+        """
+        length = self.config.message_length
+        expected = self.generated_total * length
+        at_source = 0
+        ejected = 0
+        for message in self._iter_live_messages():
+            at_source += message.flits_to_inject
+            ejected += message.flits_ejected
+        delivered_flits = self.delivered_total * length
+        in_network = self.network_flits()
+        return expected == at_source + in_network + ejected + delivered_flits
+
+    def _iter_live_messages(self):
+        seen = set()
+        for message in self._route_queue:
+            if message.msg_id not in seen:
+                seen.add(message.msg_id)
+                yield message
+        for channel in self._active_channels:
+            for vc in channel.vcs:
+                owner = vc.owner
+                if owner is not None and owner.msg_id not in seen:
+                    seen.add(owner.msg_id)
+                    yield owner
+
+
+__all__ = ["Engine"]

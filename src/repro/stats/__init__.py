@@ -1,0 +1,27 @@
+"""Statistics: sampling, stratified estimation, convergence, metrics.
+
+Implements the paper's methodology (Section 3): warm-up, periodic sampling
+with fresh random streams between samples, a stratified population-mean
+latency estimator weighted by hop-class frequencies, dual 5%-error
+convergence criteria with a minimum of three and a bounded maximum number
+of samples, and the latency/normalized-throughput metrics of eqs. (2)-(4).
+"""
+
+from repro.stats.convergence import ConvergenceChecker, StratifiedEstimate
+from repro.stats.counters import SampleRecord
+from repro.stats.metrics import (
+    achieved_utilization,
+    ideal_latency,
+    normalized_throughput,
+)
+from repro.stats.summary import SimulationResult
+
+__all__ = [
+    "ConvergenceChecker",
+    "SampleRecord",
+    "SimulationResult",
+    "StratifiedEstimate",
+    "achieved_utilization",
+    "ideal_latency",
+    "normalized_throughput",
+]

@@ -1,0 +1,57 @@
+"""Raw per-sample measurements collected by the engine."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class SampleRecord:
+    """Everything measured during one sampling period.
+
+    ``deliveries`` holds one ``(latency, hops)`` pair per message delivered
+    while the sample was active; hops is the message's (minimal) path
+    length and doubles as its hop-class/stratum id.
+    """
+
+    __slots__ = (
+        "start_cycle",
+        "cycles",
+        "deliveries",
+        "flits_moved",
+        "generated",
+        "refused",
+    )
+
+    def __init__(self, start_cycle: int) -> None:
+        self.start_cycle = start_cycle
+        self.cycles = 0
+        self.deliveries: List[Tuple[int, int]] = []
+        self.flits_moved = 0
+        self.generated = 0
+        self.refused = 0
+
+    @property
+    def delivered(self) -> int:
+        return len(self.deliveries)
+
+    def mean_latency(self) -> float:
+        """Unweighted mean latency of this sample (0 if empty)."""
+        if not self.deliveries:
+            return 0.0
+        return sum(lat for lat, _ in self.deliveries) / len(self.deliveries)
+
+    def latencies_by_hops(self) -> Dict[int, List[int]]:
+        """Group latencies into hop-class strata."""
+        strata: Dict[int, List[int]] = {}
+        for latency, hops in self.deliveries:
+            strata.setdefault(hops, []).append(latency)
+        return strata
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SampleRecord(start={self.start_cycle}, cycles={self.cycles}, "
+            f"delivered={self.delivered}, flits={self.flits_moved})"
+        )
+
+
+__all__ = ["SampleRecord"]

@@ -1,0 +1,57 @@
+"""Latency and throughput metrics (paper eqs. (2)-(4)).
+
+Latency of one message: ``w + (m_l + d - 1) * f_t`` with wait time w,
+message length m_l flits, d hops and flit time f_t = 1 cycle — the
+simulator measures it directly as delivery cycle minus creation cycle.
+
+Normalized throughput (average channel utilization) is the fraction of raw
+network channel bandwidth carrying flits.  The simulator counts actual flit
+crossings, which equals the paper's eq. (3) in steady state.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require_positive
+
+
+def ideal_latency(message_length: int, hops: int, flit_time: int = 1) -> int:
+    """Contention-free latency of a message (paper eq. (2) with w = 0)."""
+    require_positive(message_length, "message_length")
+    require_positive(hops, "hops")
+    return (message_length + hops - 1) * flit_time
+
+
+def achieved_utilization(
+    flits_moved: int, cycles: int, num_channels: int
+) -> float:
+    """Measured channel utilization: flit crossings / channel-cycles."""
+    require_positive(cycles, "cycles")
+    require_positive(num_channels, "num_channels")
+    return flits_moved / (cycles * num_channels)
+
+
+def normalized_throughput(
+    messages_delivered: int,
+    total_hops: int,
+    message_length: int,
+    cycles: int,
+    num_channels: int,
+) -> float:
+    """Paper eq. (3) with measured quantities.
+
+    ``total_hops`` is the sum of hop counts over the delivered messages, so
+    ``total_hops * message_length`` is the channel-bandwidth those messages
+    consumed.
+    """
+    require_positive(cycles, "cycles")
+    require_positive(num_channels, "num_channels")
+    if messages_delivered == 0:
+        return 0.0
+    return total_hops * message_length / (cycles * num_channels)
+
+
+__all__ = [
+    "achieved_utilization",
+    "ideal_latency",
+    "normalized_throughput",
+]

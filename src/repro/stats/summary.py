@@ -1,0 +1,90 @@
+"""The result of one simulation point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SimulationResult:
+    """Converged (or best-effort) measurements for one simulation point.
+
+    Attributes mirror the paper's reported quantities: the x-axis
+    ``offered_load`` (offered channel utilization), and the y-axes
+    ``average_latency`` (cycles) and ``achieved_utilization`` (normalized
+    throughput).
+    """
+
+    algorithm: str
+    traffic: str
+    offered_load: float
+    injection_rate: float
+
+    average_latency: float
+    latency_error_bound: float
+    #: Mean queueing/blocking time: latency minus the pipelined term
+    #: (m_l + d - 1), i.e. the *w* of the paper's eq. (2), averaged over
+    #: delivered messages.
+    average_wait: float
+    achieved_utilization: float
+    delivered_throughput: float
+
+    samples_used: int
+    converged: bool
+    cycles_simulated: int
+    messages_generated: int
+    messages_delivered: int
+    messages_refused: int
+
+    #: Latency distribution percentiles (50/95/99) over delivered
+    #: messages — beyond the paper's averages, useful for tail analysis.
+    latency_percentiles: Dict[int, float] = field(default_factory=dict)
+    #: Mean latency per hop-class (stratum), for deeper analysis.
+    hop_class_latency: Dict[int, float] = field(default_factory=dict)
+    #: Flits carried per virtual-channel class, summed over all physical
+    #: channels during sampling — the paper's VC load-balance discussion.
+    vc_class_usage: List[int] = field(default_factory=list)
+    #: Extra context (profile name, switching mode, ...).
+    notes: Optional[str] = None
+
+    @property
+    def refusal_rate(self) -> float:
+        """Fraction of generated messages refused by congestion control."""
+        offered = self.messages_generated + self.messages_refused
+        if offered == 0:
+            return 0.0
+        return self.messages_refused / offered
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat dict for CSV writers and tables."""
+        return {
+            "algorithm": self.algorithm,
+            "traffic": self.traffic,
+            "offered_load": self.offered_load,
+            "injection_rate": self.injection_rate,
+            "average_latency": self.average_latency,
+            "latency_error_bound": self.latency_error_bound,
+            "achieved_utilization": self.achieved_utilization,
+            "delivered_throughput": self.delivered_throughput,
+            "samples_used": self.samples_used,
+            "converged": self.converged,
+            "cycles_simulated": self.cycles_simulated,
+            "messages_generated": self.messages_generated,
+            "messages_delivered": self.messages_delivered,
+            "messages_refused": self.messages_refused,
+            "refusal_rate": self.refusal_rate,
+        }
+
+    def __str__(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"{self.algorithm}/{self.traffic} offered={self.offered_load:.2f}"
+            f" -> latency={self.average_latency:.1f}"
+            f" (+/-{self.latency_error_bound:.1f})"
+            f" util={self.achieved_utilization:.3f}"
+            f" [{self.samples_used} samples, {status}]"
+        )
+
+
+__all__ = ["SimulationResult"]

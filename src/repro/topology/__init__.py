@@ -1,0 +1,27 @@
+"""Network topologies: k-ary n-cubes (tori) and n-dimensional meshes.
+
+The paper evaluates 16-ary 2-cubes (16x16 tori, written "16^2"), but its
+simulator supports k-ary n-cubes and meshes generally; so does this package.
+"""
+
+from repro.topology.base import Link, Topology
+from repro.topology.coords import coords_to_node, node_to_coords
+from repro.topology.mesh import Mesh
+from repro.topology.ring import (
+    ring_directions,
+    ring_distance,
+    ring_offset,
+)
+from repro.topology.torus import Torus
+
+__all__ = [
+    "Link",
+    "Mesh",
+    "Topology",
+    "Torus",
+    "coords_to_node",
+    "node_to_coords",
+    "ring_directions",
+    "ring_distance",
+    "ring_offset",
+]

@@ -1,0 +1,198 @@
+"""Topology abstraction shared by torus and mesh networks.
+
+A topology is a directed graph of unidirectional *links* between nodes (the
+paper assumes two unidirectional links between each pair of adjacent nodes).
+Each link knows which dimension it runs along, its direction, and whether it
+is a wrap-around ("dateline") edge — the latter drives virtual-channel class
+selection for the e-cube and north-last algorithms on tori.
+
+Links carry a dense integer index so the simulator can store per-link state
+in flat lists.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.topology.coords import Coords, coords_to_node, node_to_coords, parity
+from repro.util.errors import TopologyError
+from repro.util.validation import require
+
+
+class Link:
+    """One unidirectional physical channel of the network."""
+
+    __slots__ = ("index", "src", "dst", "dim", "direction", "wraps")
+
+    def __init__(
+        self,
+        index: int,
+        src: int,
+        dst: int,
+        dim: int,
+        direction: int,
+        wraps: bool,
+    ) -> None:
+        self.index = index
+        self.src = src
+        self.dst = dst
+        self.dim = dim
+        self.direction = direction
+        self.wraps = wraps
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        wrap = ", wrap" if self.wraps else ""
+        return (
+            f"Link#{self.index}({self.src}->{self.dst}, "
+            f"dim={self.dim}, dir={self.direction:+d}{wrap})"
+        )
+
+
+class Topology(ABC):
+    """Base class for k-ary n-dimensional networks with uniform radix."""
+
+    def __init__(self, radix: int, n_dims: int) -> None:
+        require(radix >= 2, f"radix must be >= 2, got {radix}")
+        require(n_dims >= 1, f"n_dims must be >= 1, got {n_dims}")
+        self.radix = radix
+        self.n_dims = n_dims
+        self.num_nodes = radix**n_dims
+        self._links: List[Link] = []
+        # (node, dim, direction) -> Link
+        self._out: Dict[Tuple[int, int, int], Link] = {}
+        self._coords_cache: List[Coords] = [
+            node_to_coords(node, radix, n_dims)
+            for node in range(self.num_nodes)
+        ]
+        self._build_links()
+
+    # -- construction -----------------------------------------------------
+
+    @abstractmethod
+    def _neighbor_coord(
+        self, coord: int, direction: int
+    ) -> Optional[int]:
+        """Next coordinate along a dimension, or None at a mesh boundary."""
+
+    @abstractmethod
+    def _hop_wraps(self, coord: int, direction: int) -> bool:
+        """Whether one hop from *coord* in *direction* uses a wrap edge."""
+
+    def _build_links(self) -> None:
+        for node in range(self.num_nodes):
+            coords = self._coords_cache[node]
+            for dim in range(self.n_dims):
+                for direction in (1, -1):
+                    nxt = self._neighbor_coord(coords[dim], direction)
+                    if nxt is None:
+                        continue
+                    dst_coords = list(coords)
+                    dst_coords[dim] = nxt
+                    dst = coords_to_node(tuple(dst_coords), self.radix)
+                    link = Link(
+                        index=len(self._links),
+                        src=node,
+                        dst=dst,
+                        dim=dim,
+                        direction=direction,
+                        wraps=self._hop_wraps(coords[dim], direction),
+                    )
+                    self._links.append(link)
+                    self._out[(node, dim, direction)] = link
+
+    # -- geometry ---------------------------------------------------------
+
+    def coords(self, node: int) -> Coords:
+        """Per-dimension coordinates of *node*."""
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(f"node id {node} out of range")
+        return self._coords_cache[node]
+
+    def node(self, coords: Coords) -> int:
+        """Integer node id for *coords*."""
+        require(
+            len(coords) == self.n_dims,
+            f"expected {self.n_dims} coordinates, got {len(coords)}",
+        )
+        return coords_to_node(coords, self.radix)
+
+    def parity(self, node: int) -> int:
+        """0 for even nodes, 1 for odd nodes (coordinate-sum parity)."""
+        return parity(self._coords_cache[node])
+
+    @abstractmethod
+    def dim_distance(self, src: int, dst: int, dim: int) -> int:
+        """Minimal hops between *src* and *dst* along one dimension."""
+
+    @abstractmethod
+    def minimal_directions(
+        self, src: int, dst: int, dim: int
+    ) -> Tuple[int, ...]:
+        """Directions in *dim* along which one hop moves *src* nearer *dst*."""
+
+    def distance(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes."""
+        return sum(
+            self.dim_distance(src, dst, dim) for dim in range(self.n_dims)
+        )
+
+    @property
+    @abstractmethod
+    def diameter(self) -> int:
+        """Maximum minimal-path length between any node pair."""
+
+    def average_distance(self) -> float:
+        """Mean minimal distance over ordered pairs of distinct nodes.
+
+        For uniform traffic this is the paper's average diameter (8.03 for
+        a 16x16 torus).
+        """
+        total = 0
+        src = 0  # vertex-transitive for torus; meshes override
+        if self._is_vertex_transitive():
+            for dst in range(self.num_nodes):
+                if dst != src:
+                    total += self.distance(src, dst)
+            return total / (self.num_nodes - 1)
+        for src in range(self.num_nodes):
+            for dst in range(self.num_nodes):
+                if dst != src:
+                    total += self.distance(src, dst)
+        return total / (self.num_nodes * (self.num_nodes - 1))
+
+    def _is_vertex_transitive(self) -> bool:
+        return False
+
+    # -- links ------------------------------------------------------------
+
+    @property
+    def links(self) -> Sequence[Link]:
+        """All unidirectional links, indexed by ``Link.index``."""
+        return self._links
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def out_link(self, node: int, dim: int, direction: int) -> Optional[Link]:
+        """The link leaving *node* along *dim* in *direction*, if any."""
+        return self._out.get((node, dim, direction))
+
+    def out_links(self, node: int) -> Iterable[Link]:
+        """All links leaving *node*."""
+        for dim in range(self.n_dims):
+            for direction in (1, -1):
+                link = self._out.get((node, dim, direction))
+                if link is not None:
+                    yield link
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(radix={self.radix}, "
+            f"n_dims={self.n_dims}, nodes={self.num_nodes}, "
+            f"links={self.num_links})"
+        )
+
+
+__all__ = ["Link", "Topology"]

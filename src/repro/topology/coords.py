@@ -1,0 +1,62 @@
+"""Node addressing for k-ary n-dimensional grids.
+
+A node is identified either by an integer id in ``[0, k**n)`` or by an
+n-tuple of per-dimension coordinates.  ``coords[i]`` is the coordinate in
+dimension *i*; dimension 0 is the least-significant digit of the id.  This
+matches the paper's notation ``x = (x_{n-1}, ..., x_0)`` read right to left.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.util.errors import TopologyError
+
+Coords = Tuple[int, ...]
+
+
+def node_to_coords(node: int, radix: int, n_dims: int) -> Coords:
+    """Decompose integer node id into per-dimension coordinates.
+
+    >>> node_to_coords(5, 4, 2)   # 5 = 1*4 + 1
+    (1, 1)
+    >>> node_to_coords(7, 4, 2)   # 7 = 1*4 + 3
+    (3, 1)
+    """
+    if not 0 <= node < radix**n_dims:
+        raise TopologyError(
+            f"node id {node} out of range for a {radix}-ary {n_dims}-cube"
+        )
+    coords = []
+    for _ in range(n_dims):
+        coords.append(node % radix)
+        node //= radix
+    return tuple(coords)
+
+
+def coords_to_node(coords: Coords, radix: int) -> int:
+    """Compose per-dimension coordinates into an integer node id.
+
+    >>> coords_to_node((3, 1), 4)
+    7
+    """
+    node = 0
+    for coord in reversed(coords):
+        if not 0 <= coord < radix:
+            raise TopologyError(
+                f"coordinate {coord} out of range for radix {radix}"
+            )
+        node = node * radix + coord
+    return node
+
+
+def parity(coords: Coords) -> int:
+    """Node parity: 0 if the coordinate sum is even, 1 if odd.
+
+    For even radix this is the 2-coloring of the torus used by the
+    negative-hop scheme (adjacent nodes always differ in parity).
+    """
+    return sum(coords) & 1
+
+
+__all__ = ["Coords", "coords_to_node", "node_to_coords", "parity"]

@@ -1,0 +1,50 @@
+"""n-dimensional mesh topology (no wrap-around links).
+
+The paper's simulator also handles meshes; we provide them both for parity
+with the paper and because several cross-checks the authors cite (Glass &
+Ni's north-last results, Song's e-cube throughput) were measured on meshes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.topology.base import Topology
+
+
+class Mesh(Topology):
+    """A k-ary n-dimensional mesh: a torus without the wrap-around edges."""
+
+    def _neighbor_coord(self, coord: int, direction: int) -> Optional[int]:
+        nxt = coord + direction
+        if 0 <= nxt < self.radix:
+            return nxt
+        return None
+
+    def _hop_wraps(self, coord: int, direction: int) -> bool:
+        return False  # a mesh has no wrap-around edges
+
+    def dim_distance(self, src: int, dst: int, dim: int) -> int:
+        return abs(self.coords(src)[dim] - self.coords(dst)[dim])
+
+    def minimal_directions(
+        self, src: int, dst: int, dim: int
+    ) -> Tuple[int, ...]:
+        src_c = self.coords(src)[dim]
+        dst_c = self.coords(dst)[dim]
+        if src_c < dst_c:
+            return (1,)
+        if src_c > dst_c:
+            return (-1,)
+        return ()
+
+    @property
+    def diameter(self) -> int:
+        return self.n_dims * (self.radix - 1)
+
+    def max_negative_hops(self) -> int:
+        """Maximum negative (odd-to-even) hops on any minimal mesh path."""
+        return (self.diameter + 1) // 2
+
+
+__all__ = ["Mesh"]

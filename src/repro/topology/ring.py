@@ -1,0 +1,95 @@
+"""Arithmetic on a single k-node ring (one dimension of a torus).
+
+Directions are +1 (increasing coordinate, wrapping k-1 -> 0) and -1
+(decreasing coordinate, wrapping 0 -> k-1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+PLUS = 1
+MINUS = -1
+
+
+def ring_offset(src: int, dst: int, radix: int) -> int:
+    """Signed minimal offset from *src* to *dst* on a *radix*-node ring.
+
+    The result is in ``(-radix/2, radix/2]``: ties (distance exactly k/2)
+    are reported as the positive offset, but :func:`ring_directions` still
+    reports both directions as minimal in that case.
+
+    >>> ring_offset(1, 3, 8)
+    2
+    >>> ring_offset(1, 7, 8)
+    -2
+    >>> ring_offset(0, 4, 8)
+    4
+    """
+    delta = (dst - src) % radix
+    if delta > radix // 2:
+        delta -= radix
+    elif delta == radix - delta:  # only possible for even radix, tie
+        delta = radix // 2
+    return delta
+
+
+def ring_distance(src: int, dst: int, radix: int) -> int:
+    """Minimal hop count from *src* to *dst* on the ring."""
+    delta = (dst - src) % radix
+    return min(delta, radix - delta)
+
+
+def ring_directions(src: int, dst: int, radix: int) -> Tuple[int, ...]:
+    """Directions (+1/-1) along which one hop reduces ring distance.
+
+    Returns an empty tuple when already aligned, both directions at an
+    exact half-ring tie (even radix only), and a single direction otherwise.
+
+    >>> ring_directions(0, 3, 8)
+    (1,)
+    >>> ring_directions(0, 6, 8)
+    (-1,)
+    >>> ring_directions(0, 4, 8)
+    (1, -1)
+    >>> ring_directions(2, 2, 8)
+    ()
+    """
+    if src == dst:
+        return ()
+    forward = (dst - src) % radix
+    backward = radix - forward
+    if forward < backward:
+        return (PLUS,)
+    if backward < forward:
+        return (MINUS,)
+    return (PLUS, MINUS)
+
+
+def step(coord: int, direction: int, radix: int) -> int:
+    """Coordinate after one hop in *direction* (with wrap-around)."""
+    return (coord + direction) % radix
+
+
+def crosses_wrap(coord: int, direction: int, radix: int) -> bool:
+    """True if a hop from *coord* in *direction* uses the wrap-around edge.
+
+    The wrap-around ("dateline") edges of a ring are k-1 -> 0 in the +
+    direction and 0 -> k-1 in the - direction.  Crossing one is what forces
+    a message onto the next virtual-channel class under the e-cube/nlast
+    dateline scheme.
+    """
+    if direction == PLUS:
+        return coord == radix - 1
+    return coord == 0
+
+
+__all__ = [
+    "MINUS",
+    "PLUS",
+    "crosses_wrap",
+    "ring_directions",
+    "ring_distance",
+    "ring_offset",
+    "step",
+]

@@ -1,0 +1,62 @@
+"""Offered-load accounting (paper eq. (3)/(4)).
+
+The paper normalizes throughput as average channel utilization
+
+    rho = lambda * m_l * d_bar * N / C
+
+where lambda is the per-node message rate (1/mean interarrival), m_l the
+message length in flits, d_bar the mean hops per message, N the node count
+and C the network channel count.  For a k-ary n-cube C/N = 2n, giving the
+paper's simplified form rho = lambda * m_l * d_bar / (2n).
+
+These helpers convert between a target offered load and the per-node
+injection rate the arrival process needs.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+from repro.util.validation import require_positive
+
+
+def channels_per_node(topology: Topology) -> float:
+    """Network channels per node (2n on a torus; less on mesh boundaries)."""
+    return topology.num_links / topology.num_nodes
+
+
+def offered_load_to_rate(
+    offered_load: float,
+    topology: Topology,
+    message_length: int,
+    mean_distance: float,
+) -> float:
+    """Per-node message-generation probability for a target offered load."""
+    require_positive(message_length, "message_length")
+    require_positive(mean_distance, "mean_distance")
+    if offered_load < 0:
+        raise ValueError(f"offered_load must be >= 0, got {offered_load}")
+    rate = (
+        offered_load
+        * channels_per_node(topology)
+        / (message_length * mean_distance)
+    )
+    return min(rate, 1.0)
+
+
+def rate_to_offered_load(
+    rate: float,
+    topology: Topology,
+    message_length: int,
+    mean_distance: float,
+) -> float:
+    """Offered channel utilization implied by a per-node message rate."""
+    require_positive(message_length, "message_length")
+    require_positive(mean_distance, "mean_distance")
+    return rate * message_length * mean_distance / channels_per_node(topology)
+
+
+__all__ = [
+    "channels_per_node",
+    "offered_load_to_rate",
+    "rate_to_offered_load",
+]

@@ -1,0 +1,76 @@
+"""Local traffic: destinations confined to a small neighbourhood.
+
+The paper's local pattern on a 16x16 torus: node (i, j) sends with equal
+probability to any node of the 7x7 submesh centred on it (offsets -3..+3
+in each dimension, wrap-around), excluding itself — 48 candidate
+destinations, a locality factor of 0.4, mean distance 3.5 hops, and
+hop-class weights {1: .0833, 2: .1667, 3: .25, 4: .25, 5: .1667, 6: .0833}.
+
+The neighbourhood radius is configurable; radius 3 reproduces the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from repro.topology.base import Topology
+from repro.topology.mesh import Mesh
+from repro.traffic.base import UniformOverSetPattern
+from repro.util.validation import require, require_positive
+
+
+class LocalTraffic(UniformOverSetPattern):
+    """Uniform destinations within a (2r+1)^n neighbourhood of the source."""
+
+    name = "local"
+
+    def __init__(self, topology: Topology, radius: int = 3) -> None:
+        super().__init__(topology)
+        require_positive(radius, "radius")
+        require(
+            2 * radius + 1 <= topology.radix,
+            f"neighbourhood width {2 * radius + 1} exceeds radix "
+            f"{topology.radix}",
+        )
+        self.radius = radius
+        self._neighbourhoods: List[List[int]] = [
+            self._build_neighbourhood(src)
+            for src in range(topology.num_nodes)
+        ]
+
+    def _build_neighbourhood(self, src: int) -> List[int]:
+        topo = self.topology
+        coords = topo.coords(src)
+        per_dim: List[List[int]] = []
+        for dim in range(topo.n_dims):
+            values = []
+            for offset in range(-self.radius, self.radius + 1):
+                value = coords[dim] + offset
+                if isinstance(topo, Mesh):
+                    if not 0 <= value < topo.radix:
+                        continue
+                else:
+                    value %= topo.radix
+                values.append(value)
+            per_dim.append(values)
+        neighbourhood = []
+        for candidate in itertools.product(*per_dim):
+            node = topo.node(tuple(candidate))
+            if node != src:
+                neighbourhood.append(node)
+        return neighbourhood
+
+    def candidate_destinations(self, src: int) -> List[int]:
+        return self._neighbourhoods[src]
+
+    def locality_fraction(self) -> float:
+        """Neighbourhood span as a fraction of the radix (0.4 in the paper).
+
+        The paper calls the 7x7 window on a 16-wide torus a "locality
+        factor of 0.4": (2*3 + 1) / 16 = 0.4375, reported rounded.
+        """
+        return (2 * self.radius + 1) / self.topology.radix
+
+
+__all__ = ["LocalTraffic"]

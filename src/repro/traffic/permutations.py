@@ -1,0 +1,106 @@
+"""Deterministic permutation traffic patterns.
+
+These extend the paper: Glass & Ni report that turn-model algorithms such
+as north-last beat e-cube on non-uniform patterns like matrix transpose,
+and the paper explicitly flags that counter-claim (Section 3.4).  The
+permutations here let the claim be tested with this simulator.
+
+Every source sends all its messages to one fixed destination.  Sources
+mapped to themselves generate no traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import abstractmethod
+from typing import Dict, Optional
+
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficPattern
+from repro.util.validation import require
+
+
+class PermutationTraffic(TrafficPattern):
+    """Base for fixed source->destination permutation patterns."""
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+        self._mapping = [
+            self.permute(src) for src in range(topology.num_nodes)
+        ]
+
+    @abstractmethod
+    def permute(self, src: int) -> int:
+        """The fixed destination of *src* (may equal *src*)."""
+
+    def sample_destination(
+        self, src: int, rng: random.Random
+    ) -> Optional[int]:
+        dst = self._mapping[src]
+        return None if dst == src else dst
+
+    def destination_distribution(self, src: int) -> Dict[int, float]:
+        dst = self._mapping[src]
+        if dst == src:
+            return {}
+        return {dst: 1.0}
+
+
+class TransposeTraffic(PermutationTraffic):
+    """Matrix transpose: (x1, x0) -> (x0, x1); 2-D networks only."""
+
+    name = "transpose"
+
+    def __init__(self, topology: Topology) -> None:
+        require(
+            topology.n_dims == 2,
+            "transpose traffic requires a 2-dimensional network",
+        )
+        super().__init__(topology)
+
+    def permute(self, src: int) -> int:
+        coords = self.topology.coords(src)
+        return self.topology.node((coords[1], coords[0]))
+
+
+class BitComplementTraffic(PermutationTraffic):
+    """Coordinate complement: x_i -> (k - 1) - x_i in every dimension."""
+
+    name = "bit-complement"
+
+    def permute(self, src: int) -> int:
+        radix = self.topology.radix
+        coords = self.topology.coords(src)
+        return self.topology.node(
+            tuple(radix - 1 - coord for coord in coords)
+        )
+
+
+class BitReversalTraffic(PermutationTraffic):
+    """Bit-reversal of the node id (radix must be a power of two)."""
+
+    name = "bit-reversal"
+
+    def __init__(self, topology: Topology) -> None:
+        total_bits = (topology.num_nodes - 1).bit_length()
+        require(
+            2**total_bits == topology.num_nodes,
+            "bit-reversal traffic requires a power-of-two node count",
+        )
+        self._total_bits = total_bits
+        super().__init__(topology)
+
+    def permute(self, src: int) -> int:
+        reversed_id = 0
+        for bit in range(self._total_bits):
+            if src & (1 << bit):
+                reversed_id |= 1 << (self._total_bits - 1 - bit)
+        return reversed_id
+
+
+__all__ = [
+    "BitComplementTraffic",
+    "BitReversalTraffic",
+    "PermutationTraffic",
+    "TransposeTraffic",
+]

@@ -1,0 +1,168 @@
+"""Trace-driven workloads (paper §4 future work).
+
+The paper closes by planning to evaluate the routing algorithms on
+*communication traces obtained from computations on parallel processors*.
+This module implements that pipeline: a :class:`MessageTrace` is a sorted
+sequence of (cycle, src, dst) send events, loadable from a simple text
+format, and two synthetic generators produce traces with the structure of
+classic message-passing programs:
+
+* :func:`stencil_trace` — iterative nearest-neighbour exchange (the
+  communication pattern of Jacobi/red-black stencil solvers);
+* :func:`reduction_trace` — repeated dimension-ordered tree reductions to
+  a root (the pattern of global sums and barriers).
+
+The engine replays a trace with blocking-send semantics: an event refused
+by congestion control retries every cycle until admitted, preserving the
+program's per-node send order.  The natural figure of merit is the
+*makespan* — see :mod:`repro.experiments.trace_runner`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, TextIO, Tuple
+
+from repro.topology.base import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.validation import require, require_positive
+
+#: One send: (issue cycle, source node, destination node).
+TraceEvent = Tuple[int, int, int]
+
+
+class MessageTrace:
+    """An immutable, time-sorted sequence of send events."""
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        ordered: List[TraceEvent] = sorted(events)
+        for cycle, src, dst in ordered:
+            require(cycle >= 0, f"event cycle must be >= 0, got {cycle}")
+            require(src != dst, f"self-addressed event at node {src}")
+        self._events: Tuple[TraceEvent, ...] = tuple(ordered)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self._events[index]
+
+    @property
+    def horizon(self) -> int:
+        """Issue cycle of the last event (0 for an empty trace)."""
+        return self._events[-1][0] if self._events else 0
+
+    def validate_for(self, topology: Topology) -> None:
+        """Check every node id fits *topology*."""
+        for cycle, src, dst in self._events:
+            if not (0 <= src < topology.num_nodes
+                    and 0 <= dst < topology.num_nodes):
+                raise ConfigurationError(
+                    f"trace event ({cycle}, {src}, {dst}) references a "
+                    f"node outside the {topology.num_nodes}-node network"
+                )
+
+    # -- text format: "# comment" lines and "cycle src dst" triples -------
+
+    @classmethod
+    def from_text(cls, stream: TextIO) -> "MessageTrace":
+        events: List[TraceEvent] = []
+        for line_number, line in enumerate(stream, start=1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            parts = body.split()
+            if len(parts) != 3:
+                raise ConfigurationError(
+                    f"trace line {line_number}: expected 'cycle src dst', "
+                    f"got {body!r}"
+                )
+            try:
+                cycle, src, dst = (int(part) for part in parts)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"trace line {line_number}: non-integer field in "
+                    f"{body!r}"
+                ) from exc
+            events.append((cycle, src, dst))
+        return cls(events)
+
+    @classmethod
+    def from_file(cls, path: str) -> "MessageTrace":
+        with open(path) as stream:
+            return cls.from_text(stream)
+
+    def to_text(self, stream: TextIO) -> None:
+        stream.write("# cycle src dst\n")
+        for cycle, src, dst in self._events:
+            stream.write(f"{cycle} {src} {dst}\n")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MessageTrace({len(self)} events, horizon={self.horizon})"
+
+
+def stencil_trace(
+    topology: Topology, iterations: int, period: int
+) -> MessageTrace:
+    """Nearest-neighbour exchange, one round every *period* cycles.
+
+    Every iteration, every node sends one message to each of its
+    neighbours — the halo exchange of an iterative stencil solver.
+    """
+    require_positive(iterations, "iterations")
+    require_positive(period, "period")
+    events: List[TraceEvent] = []
+    for iteration in range(iterations):
+        cycle = iteration * period
+        for node in range(topology.num_nodes):
+            for link in topology.out_links(node):
+                events.append((cycle, node, link.dst))
+    return MessageTrace(events)
+
+
+def reduction_trace(
+    topology: Topology, root: int, rounds: int, period: int
+) -> MessageTrace:
+    """Dimension-ordered tree reduction to *root*, repeated *rounds* times.
+
+    Within each round, nodes reduce along dimension 0 first, then
+    dimension 1, ... — each step's senders forward to the node with their
+    coordinate in that dimension collapsed to the root's, staggered one
+    cycle per ring position so the trace has the serialization a real
+    reduction exhibits.
+    """
+    require(0 <= root < topology.num_nodes, "root out of range")
+    require_positive(rounds, "rounds")
+    require_positive(period, "period")
+    root_coords = topology.coords(root)
+    events: List[TraceEvent] = []
+    for round_index in range(rounds):
+        base = round_index * period
+        offset = 0
+        for dim in range(topology.n_dims):
+            for node in range(topology.num_nodes):
+                coords = topology.coords(node)
+                # Participates in this step iff all lower dims collapsed.
+                if any(
+                    coords[d] != root_coords[d] for d in range(dim)
+                ):
+                    continue
+                if coords[dim] == root_coords[dim]:
+                    continue
+                target = list(coords)
+                target[dim] = root_coords[dim]
+                events.append(
+                    (base + offset, node, topology.node(tuple(target)))
+                )
+            offset += 1
+    return MessageTrace(events)
+
+
+__all__ = [
+    "MessageTrace",
+    "TraceEvent",
+    "reduction_trace",
+    "stencil_trace",
+]

@@ -1,0 +1,42 @@
+"""Uniform (random) traffic.
+
+Each message's destination is drawn uniformly from all nodes other than the
+source — the paper's model of massively parallel computations whose arrays
+are hash-distributed.  The mean distance equals the network's average
+diameter (8.03 on a 16x16 torus).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficPattern
+
+
+class UniformTraffic(TrafficPattern):
+    """Destination uniform over all nodes except the source."""
+
+    name = "uniform"
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+        self._num_nodes = topology.num_nodes
+
+    def sample_destination(
+        self, src: int, rng: random.Random
+    ) -> Optional[int]:
+        dst = rng.randrange(self._num_nodes - 1)
+        if dst >= src:
+            dst += 1  # skip the source without rejection sampling
+        return dst
+
+    def destination_distribution(self, src: int) -> Dict[int, float]:
+        prob = 1.0 / (self._num_nodes - 1)
+        return {
+            dst: prob for dst in range(self._num_nodes) if dst != src
+        }
+
+
+__all__ = ["UniformTraffic"]

@@ -1,0 +1,29 @@
+"""Shared utilities: RNG stream management, validation helpers, errors."""
+
+from repro.util.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    RoutingError,
+    TopologyError,
+)
+from repro.util.rng import RngStreams
+from repro.util.validation import (
+    require,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "DeadlockError",
+    "ReproError",
+    "RngStreams",
+    "RoutingError",
+    "TopologyError",
+    "require",
+    "require_positive",
+    "require_probability",
+    "require_type",
+]

@@ -1,0 +1,69 @@
+"""Small argument-validation helpers.
+
+These raise :class:`repro.util.errors.ConfigurationError` with a precise
+message instead of letting bad parameters surface deep inside the simulator
+as obscure index errors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+from repro.util.errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with *message* unless *condition*."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_type(
+    value: Any,
+    expected: Union[Type, Tuple[Type, ...]],
+    name: str,
+) -> None:
+    """Require ``isinstance(value, expected)``; bool is not accepted as int."""
+    if isinstance(value, bool) and expected is int:
+        raise ConfigurationError(
+            f"{name} must be an int, got bool {value!r}"
+        )
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else "/".join(t.__name__ for t in expected)
+        )
+        raise ConfigurationError(
+            f"{name} must be {expected_names}, got {type(value).__name__}"
+        )
+
+
+def require_positive(value: Union[int, float], name: str) -> None:
+    """Require a strictly positive number."""
+    require_type(value, (int, float), name)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+
+
+def require_non_negative(value: Union[int, float], name: str) -> None:
+    """Require a number >= 0."""
+    require_type(value, (int, float), name)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Require a float in [0, 1]."""
+    require_type(value, (int, float), name)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+__all__ = [
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+    "require_type",
+]

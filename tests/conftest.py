@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.config import SimulationConfig
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+
+
+@pytest.fixture(scope="session")
+def torus4() -> Torus:
+    return Torus(4, 2)
+
+
+@pytest.fixture(scope="session")
+def torus6() -> Torus:
+    return Torus(6, 2)
+
+
+@pytest.fixture(scope="session")
+def torus8() -> Torus:
+    return Torus(8, 2)
+
+
+@pytest.fixture(scope="session")
+def torus16() -> Torus:
+    """The paper's network: a 16-ary 2-cube."""
+    return Torus(16, 2)
+
+
+@pytest.fixture(scope="session")
+def mesh4() -> Mesh:
+    return Mesh(4, 2)
+
+
+@pytest.fixture(scope="session")
+def torus4_3d() -> Torus:
+    return Torus(4, 3)
+
+
+def tiny_config(**overrides) -> SimulationConfig:
+    """A fast 4x4-torus configuration for engine tests."""
+    defaults = dict(
+        radix=4,
+        n_dims=2,
+        algorithm="ecube",
+        traffic="uniform",
+        offered_load=0.2,
+        message_length=4,
+        warmup_cycles=200,
+        sample_cycles=300,
+        gap_cycles=50,
+        min_samples=3,
+        max_samples=3,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture
+def make_tiny_config():
+    return tiny_config

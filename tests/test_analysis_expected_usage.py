@@ -1,0 +1,62 @@
+"""Cross-validation: analytic vs measured virtual-channel usage."""
+
+import pytest
+
+from repro.analysis.vc_usage import expected_class_usage, usage_fractions
+from repro.routing.registry import make_algorithm
+from repro.traffic.uniform import UniformTraffic
+from repro.util.errors import ConfigurationError
+from tests.conftest import tiny_config
+
+
+class TestExpectedClassUsage:
+    def test_shares_sum_to_one(self, torus6):
+        scheme = make_algorithm("phop", torus6)
+        shares = expected_class_usage(scheme, UniformTraffic(torus6))
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_phop_shares_strictly_decreasing(self, torus6):
+        """The paper: low-numbered channels are used more; only messages
+        between distant nodes ever reach the top classes."""
+        scheme = make_algorithm("phop", torus6)
+        shares = expected_class_usage(scheme, UniformTraffic(torus6))
+        positive = [share for share in shares if share > 0]
+        assert all(a > b for a, b in zip(positive, positive[1:]))
+
+    def test_phop_class0_share_is_one_over_mean_distance(self, torus6):
+        """Every message uses class 0 exactly once, so its share of flit
+        traffic is 1 / mean hops."""
+        scheme = make_algorithm("phop", torus6)
+        traffic = UniformTraffic(torus6)
+        shares = expected_class_usage(scheme, traffic)
+        assert shares[0] == pytest.approx(1 / traffic.mean_distance())
+
+    def test_nhop_top_class_tiny(self, torus6):
+        scheme = make_algorithm("nhop", torus6)
+        shares = expected_class_usage(scheme, UniformTraffic(torus6))
+        assert shares[-1] < shares[0] / 5
+
+    def test_nbc_has_no_closed_form(self, torus6):
+        scheme = make_algorithm("nbc", torus6)
+        with pytest.raises(ConfigurationError, match="starting class"):
+            expected_class_usage(scheme, UniformTraffic(torus6))
+
+    def test_matches_low_load_simulation(self):
+        """Measured per-class flit shares converge to the analytic ones
+        at low load (where routing choices don't skew class usage)."""
+        from repro.experiments.runner import run_point
+
+        config = tiny_config(
+            radix=6, algorithm="nhop", offered_load=0.1, seed=21
+        )
+        result = run_point(config)
+        measured = usage_fractions(result.vc_class_usage)
+
+        scheme = make_algorithm("nhop", config.build_topology())
+        expected = expected_class_usage(
+            scheme, UniformTraffic(scheme.topology)
+        )
+        for measured_share, expected_share in zip(measured, expected):
+            assert measured_share == pytest.approx(
+                expected_share, abs=0.03
+            )

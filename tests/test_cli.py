@@ -1,0 +1,51 @@
+"""Tests for the repro-sweep command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_custom_sweep_runs(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_PROFILE", "tiny")
+        exit_code = main(
+            [
+                "--profile",
+                "tiny",
+                "--algorithms",
+                "ecube",
+                "--loads",
+                "0.2",
+                "--quiet",
+                "--csv",
+                str(tmp_path / "out.csv"),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Custom sweep" in out
+        assert "ecube" in out
+        assert (tmp_path / "out.csv").exists()
+
+    def test_figure_mode_reports_checks(self, capsys):
+        exit_code = main(
+            [
+                "--figure",
+                "vct",
+                "--profile",
+                "tiny",
+                "--algorithms",
+                "ecube,2pn,nbc",
+                "--loads",
+                "0.6",
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "Paper figure vct" in out
+        assert "PASS" in out or "FAIL" in out
+        assert exit_code in (0, 1)
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "99"])

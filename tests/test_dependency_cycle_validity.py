@@ -1,0 +1,43 @@
+"""The cycle reported by find_cycle must be a real cycle of the graph."""
+
+from repro.analysis.dependency_graph import (
+    build_dependency_graph,
+    find_cycle,
+)
+from repro.routing.registry import make_algorithm
+from repro.topology.torus import Torus
+
+
+def assert_is_cycle(cycle, edges):
+    assert len(cycle) >= 1
+    for here, there in zip(cycle, cycle[1:]):
+        assert there in edges.get(here, ()), (here, there)
+    assert cycle[0] in edges.get(cycle[-1], ()), (cycle[-1], cycle[0])
+
+
+class TestCycleReconstruction:
+    def test_simple_triangle(self):
+        edges = {1: {2}, 2: {3}, 3: {1}}
+        assert_is_cycle(find_cycle(edges), edges)
+
+    def test_cycle_behind_a_tail(self):
+        edges = {0: {1}, 1: {2}, 2: {3}, 3: {1}}
+        cycle = find_cycle(edges)
+        assert_is_cycle(cycle, edges)
+        assert 0 not in cycle  # the tail is not part of the cycle
+
+    def test_two_components_one_cyclic(self):
+        edges = {10: {11}, 11: set(), 20: {21}, 21: {20}}
+        assert_is_cycle(find_cycle(edges), edges)
+
+    def test_2pn_torus_cycle_is_valid(self):
+        """The documented 2pn may-wait cycles are genuine graph cycles."""
+        algorithm = make_algorithm("2pn", Torus(4, 2))
+        edges = build_dependency_graph(algorithm)
+        cycle = find_cycle(edges)
+        assert cycle is not None
+        assert_is_cycle(cycle, edges)
+        # Resources are (link index, vc class) pairs within budget.
+        for link_index, vc_class in cycle:
+            assert 0 <= link_index < algorithm.topology.num_links
+            assert 0 <= vc_class < algorithm.num_virtual_channels

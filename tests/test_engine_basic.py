@@ -1,0 +1,170 @@
+"""Engine behaviour tests: latency, conservation, determinism, sampling."""
+
+import statistics
+
+import pytest
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import Engine
+from tests.conftest import tiny_config
+
+
+class TestZeroLoadLatency:
+    def test_latency_is_ml_plus_d_minus_1_plus_waits(self):
+        """At negligible load the measured latency hits the paper's ideal
+        (m_l + d - 1) exactly for at least some messages."""
+        config = tiny_config(
+            radix=8, offered_load=0.02, message_length=16, seed=3
+        )
+        engine = Engine(config)
+        engine.start_sample()
+        engine.run_cycles(2500)
+        sample = engine.end_sample()
+        assert sample.delivered > 50
+        excesses = [
+            latency - (16 + hops - 1) for latency, hops in sample.deliveries
+        ]
+        assert min(excesses) == 0
+        assert statistics.mean(excesses) < 5
+        assert all(excess >= 0 for excess in excesses)
+
+    @pytest.mark.parametrize(
+        "algorithm", ["ecube", "nlast", "2pn", "phop", "nhop", "nbc"]
+    )
+    def test_no_algorithm_beats_the_ideal(self, algorithm):
+        config = tiny_config(
+            radix=8,
+            algorithm=algorithm,
+            offered_load=0.05,
+            message_length=8,
+            seed=9,
+        )
+        engine = Engine(config)
+        engine.start_sample()
+        engine.run_cycles(1500)
+        sample = engine.end_sample()
+        assert sample.delivered > 0
+        for latency, hops in sample.deliveries:
+            assert latency >= 8 + hops - 1
+
+    def test_conservative_flow_control_also_reaches_ideal(self):
+        config = tiny_config(
+            radix=8,
+            offered_load=0.02,
+            message_length=16,
+            seed=3,
+            flow_control="conservative",
+        )
+        engine = Engine(config)
+        engine.start_sample()
+        engine.run_cycles(2500)
+        sample = engine.end_sample()
+        excesses = [
+            latency - (16 + hops - 1) for latency, hops in sample.deliveries
+        ]
+        assert min(excesses) == 0
+
+
+class TestConservation:
+    @pytest.mark.parametrize(
+        "algorithm", ["ecube", "nlast", "2pn", "phop", "nhop", "nbc"]
+    )
+    def test_flits_conserved_under_load(self, algorithm):
+        config = tiny_config(algorithm=algorithm, offered_load=0.8, seed=5)
+        engine = Engine(config)
+        for _ in range(6):
+            engine.run_cycles(300)
+            assert engine.conservation_check()
+
+    def test_drains_when_load_stops(self):
+        config = tiny_config(offered_load=0.7, seed=5)
+        engine = Engine(config)
+        engine.run_cycles(1000)
+        # Stop traffic and let the network drain.
+        engine.arrivals.rate = 0.0
+        engine.arrivals.reseed(engine.cycle, engine.rng.stream("arrivals"))
+        engine.run_cycles(3000)
+        assert engine.in_flight == 0
+        assert engine.network_flits() == 0
+        assert engine.conservation_check()
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        results = []
+        for _ in range(2):
+            engine = Engine(tiny_config(offered_load=0.5, seed=11))
+            engine.start_sample()
+            engine.run_cycles(800)
+            sample = engine.end_sample()
+            results.append(
+                (
+                    sample.delivered,
+                    sample.flits_moved,
+                    tuple(sample.deliveries),
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_different_seed_differs(self):
+        samples = []
+        for seed in (1, 2):
+            engine = Engine(tiny_config(offered_load=0.5, seed=seed))
+            engine.start_sample()
+            engine.run_cycles(800)
+            samples.append(engine.end_sample())
+        assert (
+            samples[0].deliveries != samples[1].deliveries
+            or samples[0].flits_moved != samples[1].flits_moved
+        )
+
+
+class TestSampling:
+    def test_nested_sample_asserts(self):
+        engine = Engine(tiny_config())
+        engine.start_sample()
+        with pytest.raises(AssertionError):
+            engine.start_sample()
+
+    def test_end_without_start_asserts(self):
+        engine = Engine(tiny_config())
+        with pytest.raises(AssertionError):
+            engine.end_sample()
+
+    def test_sample_counts_only_sample_window(self):
+        engine = Engine(tiny_config(offered_load=0.4, seed=4))
+        engine.run_cycles(500)
+        delivered_before = engine.delivered_total
+        engine.start_sample()
+        engine.run_cycles(400)
+        sample = engine.end_sample()
+        assert sample.cycles == 400
+        assert sample.delivered <= engine.delivered_total - delivered_before
+        assert sample.flits_moved > 0
+
+    def test_advance_streams_changes_future(self):
+        """Re-seeding between samples yields different subsequent traffic."""
+        def run(reseed):
+            engine = Engine(tiny_config(offered_load=0.4, seed=6))
+            engine.run_cycles(300)
+            if reseed:
+                engine.advance_streams()
+            engine.start_sample()
+            engine.run_cycles(400)
+            return engine.end_sample().deliveries
+
+        assert run(True) != run(False)
+
+
+class TestUtilizationAccounting:
+    def test_achieved_utilization_tracks_offered_at_low_load(self):
+        config = tiny_config(radix=8, offered_load=0.15, seed=13)
+        engine = Engine(config)
+        engine.run_cycles(1000)
+        engine.start_sample()
+        engine.run_cycles(2000)
+        sample = engine.end_sample()
+        utilization = sample.flits_moved / (
+            sample.cycles * engine.topology.num_links
+        )
+        assert utilization == pytest.approx(0.15, rel=0.12)

@@ -1,0 +1,92 @@
+"""Switching-technique semantics: wormhole vs virtual cut-through vs SAF."""
+
+import statistics
+
+import pytest
+
+from repro.simulator.engine import Engine
+from tests.conftest import tiny_config
+
+
+def run_sample(config, warmup=400, cycles=2000):
+    engine = Engine(config)
+    engine.run_cycles(warmup)
+    engine.start_sample()
+    engine.run_cycles(cycles)
+    return engine, engine.end_sample()
+
+
+class TestStoreAndForward:
+    def test_saf_latency_is_per_hop_store(self):
+        """SAF: each hop stores the whole packet -> latency ~ d * m_l."""
+        config = tiny_config(
+            radix=8,
+            switching="saf",
+            offered_load=0.02,
+            message_length=8,
+            seed=3,
+        )
+        _, sample = run_sample(config)
+        assert sample.delivered > 30
+        excess_ratio = [
+            latency / (hops * 8) for latency, hops in sample.deliveries
+        ]
+        # At least a store per hop (ratio >= ~1), and little queueing.
+        assert min(excess_ratio) >= 1.0
+        assert statistics.mean(excess_ratio) < 1.8
+
+    def test_saf_slower_than_wormhole_at_low_load(self):
+        common = dict(radix=8, offered_load=0.05, message_length=8, seed=4)
+        _, wormhole = run_sample(tiny_config(switching="wormhole", **common))
+        _, saf = run_sample(tiny_config(switching="saf", **common))
+        assert saf.mean_latency() > 1.5 * wormhole.mean_latency()
+
+
+class TestVirtualCutThrough:
+    def test_vct_matches_wormhole_latency_at_low_load(self):
+        """With no blocking, VCT pipelines exactly like wormhole."""
+        common = dict(radix=8, offered_load=0.03, message_length=16, seed=5)
+        _, wormhole = run_sample(tiny_config(switching="wormhole", **common))
+        _, vct = run_sample(tiny_config(switching="vct", **common))
+        assert vct.mean_latency() == pytest.approx(
+            wormhole.mean_latency(), rel=0.1
+        )
+
+    def test_vct_throughput_at_least_wormhole_under_load(self):
+        """Buffering blocked packets releases channels: VCT >= wormhole."""
+        common = dict(radix=8, offered_load=0.8, seed=6)
+        engine_wh, wormhole = run_sample(
+            tiny_config(switching="wormhole", **common)
+        )
+        engine_vct, vct = run_sample(tiny_config(switching="vct", **common))
+        num_links = engine_wh.topology.num_links
+        util_wh = wormhole.flits_moved / (wormhole.cycles * num_links)
+        util_vct = vct.flits_moved / (vct.cycles * num_links)
+        assert util_vct >= 0.95 * util_wh
+
+    def test_conservation_under_vct_and_saf(self):
+        for switching in ("vct", "saf"):
+            engine, _ = run_sample(
+                tiny_config(switching=switching, offered_load=0.7, seed=7)
+            )
+            assert engine.conservation_check()
+
+
+class TestSection34:
+    def test_2pn_catches_up_to_nbc_under_vct(self):
+        """Paper Section 3.4: under VCT, 2pn performs as well as nbc
+        (per-flit priority information stops mattering when blocked
+        packets leave the network)."""
+        loads = dict(radix=8, offered_load=0.75, seed=8, message_length=16)
+        utils = {}
+        for algorithm in ("2pn", "nbc", "ecube"):
+            engine, sample = run_sample(
+                tiny_config(switching="vct", algorithm=algorithm, **loads),
+                warmup=800,
+                cycles=2500,
+            )
+            utils[algorithm] = sample.flits_moved / (
+                sample.cycles * engine.topology.num_links
+            )
+        assert utils["2pn"] > utils["ecube"]
+        assert utils["2pn"] >= 0.75 * utils["nbc"]

@@ -1,0 +1,59 @@
+"""Structural checks on per-hop-class results across algorithms.
+
+The stratified estimator reports a mean latency per hop class; this file
+pins the physical structure those strata must have — monotone growth
+with distance, and the pipelined floor per class — for several
+algorithms at once.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import run_point
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def per_algorithm_results():
+    base = tiny_config(radix=6, offered_load=0.25, seed=33)
+    return {
+        name: run_point(dataclasses.replace(base, algorithm=name))
+        for name in ("ecube", "2pn", "nbc")
+    }
+
+
+class TestHopClassLatencies:
+    def test_every_stratum_respects_the_pipelined_floor(
+        self, per_algorithm_results
+    ):
+        message_length = 4  # tiny_config default
+        for name, result in per_algorithm_results.items():
+            for hops, latency in result.hop_class_latency.items():
+                assert latency >= message_length + hops - 1, (name, hops)
+
+    def test_latency_grows_with_distance(self, per_algorithm_results):
+        for name, result in per_algorithm_results.items():
+            strata = sorted(result.hop_class_latency.items())
+            assert len(strata) >= 4, name
+            # Allow local non-monotonicity from noise, require the trend.
+            assert strata[-1][1] > strata[0][1], name
+
+    def test_all_hop_classes_observed(self, per_algorithm_results):
+        """Uniform traffic on a 6x6 torus reaches distances 1..6."""
+        for name, result in per_algorithm_results.items():
+            assert set(result.hop_class_latency) == set(range(1, 7)), name
+
+    def test_stratified_mean_within_stratum_range(
+        self, per_algorithm_results
+    ):
+        for name, result in per_algorithm_results.items():
+            strata = result.hop_class_latency.values()
+            assert min(strata) <= result.average_latency <= max(strata)
+
+    def test_wait_decomposition_consistent(self, per_algorithm_results):
+        """average_wait must equal latency minus the pipelined term, up to
+        the difference between stratified and plain means."""
+        for name, result in per_algorithm_results.items():
+            assert result.average_wait >= 0, name
+            assert result.average_wait < result.average_latency, name

@@ -1,0 +1,85 @@
+"""Tests for the physical-channel multiplexer policies."""
+
+import pytest
+
+from repro.network.physical_channel import PhysicalChannel
+from repro.network.message import Message
+from repro.experiments.runner import run_point
+from tests.conftest import tiny_config
+
+
+def make_message(msg_id, length=8):
+    return Message(
+        msg_id=msg_id,
+        src=0,
+        dst=1,
+        length=length,
+        distance=1,
+        route_state=None,
+        msg_class=0,
+        created_at=0,
+    )
+
+
+class TestHighestClassFirst:
+    @pytest.fixture
+    def contended_channel(self, torus4):
+        link = torus4.out_link(0, 0, 1)
+        channel = PhysicalChannel(link, 3, 8)
+        for vc_class in range(3):
+            channel.vcs[vc_class].reserve(make_message(vc_class))
+        return channel
+
+    def test_priority_scan_always_picks_top_class(self, contended_channel):
+        winners = [
+            contended_channel.transmit(cycle, False, True, True).vc_class
+            for cycle in range(4)
+        ]
+        assert winners == [2, 2, 2, 2]
+
+    def test_priority_falls_through_when_top_blocked(
+        self, contended_channel
+    ):
+        top = contended_channel.vcs[2]
+        top.owner.flits_to_inject = 0  # nothing left to send upstream
+        winner = contended_channel.transmit(0, False, True, True)
+        assert winner.vc_class == 1
+
+    def test_round_robin_shares_fairly(self, contended_channel):
+        winners = [
+            contended_channel.transmit(cycle, False, True, False).vc_class
+            for cycle in range(6)
+        ]
+        assert sorted(winners[:3]) == [0, 1, 2]
+        assert winners[:3] == winners[3:]
+
+
+class TestEndToEnd:
+    def test_mux_policy_config_validated(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            tiny_config(mux_policy="loudest")
+
+    @pytest.mark.parametrize("policy", ["round_robin", "highest_class"])
+    def test_simulation_completes_under_both(self, policy):
+        config = tiny_config(
+            algorithm="phop", mux_policy=policy, offered_load=0.7, seed=9
+        )
+        result = run_point(config)
+        assert result.messages_delivered > 0
+
+    def test_policies_change_behaviour(self):
+        results = {}
+        for policy in ("round_robin", "highest_class"):
+            config = tiny_config(
+                algorithm="phop",
+                mux_policy=policy,
+                offered_load=0.8,
+                seed=10,
+            )
+            results[policy] = run_point(config)
+        assert (
+            results["round_robin"].average_latency
+            != results["highest_class"].average_latency
+        )

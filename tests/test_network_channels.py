@@ -1,0 +1,186 @@
+"""Unit tests for virtual and physical channel state machines."""
+
+import pytest
+
+from repro.network.message import Message
+from repro.network.physical_channel import PhysicalChannel
+from repro.network.virtual_channel import VirtualChannel
+from repro.topology.torus import Torus
+
+
+def make_message(src=0, dst=1, length=4, msg_id=0):
+    return Message(
+        msg_id=msg_id,
+        src=src,
+        dst=dst,
+        length=length,
+        distance=1,
+        route_state=None,
+        msg_class=0,
+        created_at=0,
+    )
+
+
+@pytest.fixture
+def link(torus4):
+    return torus4.out_link(0, 0, 1)
+
+
+class TestVirtualChannel:
+    def test_starts_free(self, link):
+        vc = VirtualChannel(link, 0, 1)
+        assert vc.free
+        assert vc.occupancy == 0
+
+    def test_reserve_sets_owner_and_upstream(self, link):
+        vc = VirtualChannel(link, 0, 1)
+        message = make_message()
+        vc.reserve(message)
+        assert vc.owner is message
+        assert vc.upstream is None  # first hop feeds from the source
+
+    def test_reserve_chains_upstream(self, link, torus4):
+        first = VirtualChannel(link, 0, 1)
+        message = make_message(dst=2)
+        first.reserve(message)
+        message.path.append(first)
+        second_link = torus4.out_link(link.dst, 0, 1)
+        second = VirtualChannel(second_link, 0, 1)
+        second.reserve(message)
+        assert second.upstream is first
+
+    def test_double_reserve_asserts(self, link):
+        vc = VirtualChannel(link, 0, 1)
+        vc.reserve(make_message())
+        with pytest.raises(AssertionError):
+            vc.reserve(make_message(msg_id=1))
+
+    def test_receive_from_source_decrements_injection(self, link):
+        vc = VirtualChannel(link, 0, 2)
+        message = make_message(length=4)
+        vc.reserve(message)
+        vc.receive_flit(cycle=5)
+        assert message.flits_to_inject == 3
+        assert vc.occupancy == 1
+        assert vc.flits_in == 1
+        assert vc.last_arrival_cycle == 5
+
+    def test_settled_flits_excludes_same_cycle_arrival(self, link):
+        vc = VirtualChannel(link, 0, 2)
+        vc.reserve(make_message())
+        vc.receive_flit(cycle=5)
+        assert vc.settled_flits(5) == 0
+        assert vc.settled_flits(6) == 1
+
+    def test_had_space_reports_start_of_cycle_state(self, link):
+        vc = VirtualChannel(link, 0, 1)
+        vc.reserve(make_message())
+        vc.receive_flit(cycle=5)
+        # The slot was free at the START of cycle 5 (the arrival this
+        # cycle is discounted), but is genuinely full from cycle 6 on.
+        assert vc.had_space(5)
+        assert not vc.had_space(6)
+
+    def test_drained_requires_all_flits_out(self, link, torus4):
+        vc = VirtualChannel(link, 0, 4)
+        message = make_message(length=2)
+        vc.reserve(message)
+        message.path.append(vc)
+        vc.receive_flit(1)
+        vc.receive_flit(2)
+        assert not vc.drained
+        next_link = torus4.out_link(link.dst, 0, 1)
+        downstream = VirtualChannel(next_link, 0, 4)
+        downstream.reserve(message)
+        downstream.receive_flit(3)
+        downstream.receive_flit(4)
+        assert vc.drained
+
+    def test_release_resets(self, link):
+        vc = VirtualChannel(link, 0, 1)
+        vc.reserve(make_message())
+        vc.release()
+        assert vc.free
+        assert vc.upstream is None
+
+    def test_release_nonempty_asserts(self, link):
+        vc = VirtualChannel(link, 0, 1)
+        vc.reserve(make_message())
+        vc.receive_flit(1)
+        with pytest.raises(AssertionError):
+            vc.release()
+
+
+class TestPhysicalChannel:
+    def test_builds_requested_vcs(self, link):
+        channel = PhysicalChannel(link, 5, 1)
+        assert len(channel.vcs) == 5
+        assert [vc.vc_class for vc in channel.vcs] == list(range(5))
+
+    def test_transmit_nothing_when_idle(self, link):
+        channel = PhysicalChannel(link, 2, 1)
+        assert channel.transmit(0, False, True) is None
+
+    def test_transmit_moves_one_flit(self, link):
+        channel = PhysicalChannel(link, 2, 1)
+        message = make_message(length=4)
+        channel.vcs[0].reserve(message)
+        moved = channel.transmit(0, False, True)
+        assert moved is channel.vcs[0]
+        assert message.flits_to_inject == 3
+        assert channel.flits_moved == 1
+
+    def test_one_flit_per_cycle_even_across_retries(self, link):
+        channel = PhysicalChannel(link, 2, 4)
+        message_a = make_message(length=4)
+        message_b = make_message(msg_id=1, length=4)
+        channel.vcs[0].reserve(message_a)
+        channel.vcs[1].reserve(message_b)
+        assert channel.transmit(0, False, True) is not None
+        assert channel.transmit(0, False, True) is None  # bandwidth spent
+        assert channel.transmit(1, False, True) is not None
+
+    def test_round_robin_alternates_vcs(self, link):
+        channel = PhysicalChannel(link, 2, 8)
+        message_a = make_message(length=8)
+        message_b = make_message(msg_id=1, length=8)
+        channel.vcs[0].reserve(message_a)
+        channel.vcs[1].reserve(message_b)
+        winners = []
+        for cycle in range(4):
+            winners.append(channel.transmit(cycle, False, True).vc_class)
+        assert winners == [0, 1, 0, 1]
+
+    def test_saf_requires_full_packet_upstream(self, link, torus4):
+        channel_one = PhysicalChannel(link, 1, 4)
+        next_link = torus4.out_link(link.dst, 0, 1)
+        channel_two = PhysicalChannel(next_link, 1, 4)
+        message = make_message(length=3, dst=torus4.node((2, 0)))
+        channel_one.vcs[0].reserve(message)
+        message.path.append(channel_one.vcs[0])
+        # Move two of three flits into the first buffer.
+        assert channel_one.transmit(0, True, True)
+        assert channel_one.transmit(1, True, True)
+        channel_two.vcs[0].reserve(message)
+        message.path.append(channel_two.vcs[0])
+        # SAF: cannot forward until the whole packet is upstream.
+        assert channel_two.transmit(2, True, True) is None
+        assert channel_one.transmit(2, True, True)  # third flit arrives
+        assert channel_two.transmit(3, True, True) is not None
+
+    def test_full_buffer_blocks_in_conservative_mode(self, link):
+        channel = PhysicalChannel(link, 1, 1)
+        message = make_message(length=4)
+        channel.vcs[0].reserve(message)
+        assert channel.transmit(0, False, False) is not None
+        assert channel.transmit(1, False, False) is None  # buffer full
+
+    def test_tail_guard_blocks_after_whole_worm_passed(self, link):
+        channel = PhysicalChannel(link, 1, 4)
+        message = make_message(length=2)
+        channel.vcs[0].reserve(message)
+        assert channel.transmit(0, False, True)
+        assert channel.transmit(1, False, True)
+        # All flits are in; the VC must never pull again even though the
+        # (stale) upstream pointer may later belong to another worm.
+        assert channel.transmit(2, False, True) is None

@@ -1,0 +1,138 @@
+"""Unit tests for the shape-check logic, using synthetic sweep series.
+
+The shape checks encode the paper's qualitative claims; these tests pin
+their logic without running any simulation, so regressions in the check
+definitions are caught instantly.
+"""
+
+from repro.experiments.paper_figures import (
+    check_figure3,
+    check_figure4,
+    check_figure5,
+    check_low_load_latency,
+    check_vct,
+    format_checks,
+)
+from repro.stats.summary import SimulationResult
+
+
+def result(algorithm, load, latency, utilization):
+    return SimulationResult(
+        algorithm=algorithm,
+        traffic="synthetic",
+        offered_load=load,
+        injection_rate=0.01,
+        average_latency=latency,
+        latency_error_bound=0.5,
+        average_wait=1.0,
+        achieved_utilization=utilization,
+        delivered_throughput=utilization,
+        samples_used=3,
+        converged=True,
+        cycles_simulated=1000,
+        messages_generated=100,
+        messages_delivered=100,
+        messages_refused=0,
+    )
+
+
+def series_from(peaks, low_latency=20.0):
+    """One low-load + one high-load point per algorithm."""
+    return {
+        name: [
+            result(name, 0.1, low_latency, 0.1),
+            result(name, 0.9, low_latency * 10, peak),
+        ]
+        for name, peak in peaks.items()
+    }
+
+
+PAPERLIKE = {
+    "ecube": 0.34,
+    "nlast": 0.25,
+    "2pn": 0.30,
+    "phop": 0.72,
+    "nhop": 0.55,
+    "nbc": 0.63,
+}
+
+
+class TestFigure3Checks:
+    def test_paperlike_series_passes(self):
+        checks = check_figure3(series_from(PAPERLIKE))
+        assert checks and all(passed for _, passed in checks)
+
+    def test_detects_hop_scheme_regression(self):
+        broken = dict(PAPERLIKE, phop=0.2)
+        checks = dict(check_figure3(series_from(broken)))
+        assert not checks["phop peak throughput exceeds e-cube (uniform)"]
+
+    def test_partial_series_is_fine(self):
+        checks = check_figure3(series_from({"ecube": 0.3, "nbc": 0.6}))
+        assert all(passed for _, passed in checks)
+
+
+class TestFigure4Checks:
+    def test_paperlike_series_passes(self):
+        checks = check_figure4(series_from(PAPERLIKE))
+        assert all(passed for _, passed in checks)
+
+    def test_detects_nbc_balance_regression(self):
+        broken = dict(PAPERLIKE, nbc=0.3)
+        checks = dict(check_figure4(series_from(broken)))
+        assert not checks["nbc at least matches nhop under hotspot traffic"]
+
+    def test_hotspot_nlast_check_uses_sustained_throughput(self):
+        """nlast may peak early; only the final-load comparison counts."""
+        series = series_from(PAPERLIKE)
+        # Give nlast a huge early peak but weak sustained throughput.
+        series["nlast"][0] = result("nlast", 0.1, 20.0, 0.5)
+        checks = dict(check_figure4(series))
+        key = (
+            "e-cube sustains at least nlast's throughput past "
+            "saturation (hotspot)"
+        )
+        assert checks[key]
+
+
+class TestFigure5Checks:
+    def test_paperlike_local_series_passes(self):
+        local = dict(PAPERLIKE, **{"2pn": 0.37, "ecube": 0.30, "nbc": 0.72})
+        checks = check_figure5(series_from(local))
+        assert all(passed for _, passed in checks)
+
+    def test_detects_2pn_regression(self):
+        local = dict(PAPERLIKE, **{"2pn": 0.2, "ecube": 0.3})
+        checks = dict(check_figure5(series_from(local)))
+        assert not checks["2pn beats e-cube under local traffic"]
+
+
+class TestVctChecks:
+    def test_paperlike_vct_passes(self):
+        vct = {"ecube": 0.35, "2pn": 0.6, "nbc": 0.65}
+        assert all(passed for _, passed in check_vct(series_from(vct)))
+
+    def test_detects_2pn_not_catching_up(self):
+        vct = {"ecube": 0.35, "2pn": 0.4, "nbc": 0.65}
+        checks = dict(check_vct(series_from(vct)))
+        assert not checks["2pn performs about as well as nbc under VCT"]
+
+
+class TestLowLoadCheck:
+    def test_similar_latencies_pass(self):
+        series = series_from({"a": 0.3, "b": 0.4})
+        assert check_low_load_latency(series)[1]
+
+    def test_divergent_latencies_fail(self):
+        series = {
+            "a": [result("a", 0.1, 20.0, 0.1)],
+            "b": [result("b", 0.1, 60.0, 0.1)],
+        }
+        assert not check_low_load_latency(series)[1]
+
+
+class TestFormatting:
+    def test_format_checks_marks_pass_fail(self):
+        text = format_checks([("good", True), ("bad", False)])
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text

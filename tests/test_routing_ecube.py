@@ -1,0 +1,116 @@
+"""Unit tests for the e-cube baseline."""
+
+import pytest
+
+from repro.routing.base import dateline_vc_class
+from repro.routing.ecube import ECube
+from repro.util.errors import RoutingError
+
+
+@pytest.fixture
+def ecube4(torus4):
+    return ECube(torus4)
+
+
+class TestResources:
+    def test_two_vcs_on_torus(self, ecube4):
+        assert ecube4.num_virtual_channels == 2
+
+    def test_one_vc_on_mesh(self, mesh4):
+        assert ECube(mesh4).num_virtual_channels == 1
+
+    def test_not_adaptive(self, ecube4):
+        assert not ecube4.adaptive
+        assert not ecube4.fully_adaptive
+
+
+class TestRouting:
+    def test_single_candidate_always(self, ecube4, torus4):
+        for src in range(torus4.num_nodes):
+            for dst in range(torus4.num_nodes):
+                if src != dst:
+                    state = ecube4.new_state(src, dst)
+                    assert len(ecube4.candidates(state, src, dst)) == 1
+
+    def test_dimension_zero_first(self, ecube4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 1))
+        (link, _), = ecube4.candidates(None, src, dst)
+        assert link.dim == 0
+
+    def test_dimension_one_after_zero_corrected(self, ecube4, torus4):
+        src = torus4.node((1, 0))
+        dst = torus4.node((1, 1))
+        (link, _), = ecube4.candidates(None, src, dst)
+        assert link.dim == 1
+
+    def test_takes_shorter_way_around(self, ecube4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((3, 0))
+        (link, _), = ecube4.candidates(None, src, dst)
+        assert link.direction == -1
+        assert link.wraps
+
+    def test_raises_at_destination(self, ecube4):
+        with pytest.raises(RoutingError):
+            ecube4.candidates(None, 5, 5)
+
+    def test_full_path_is_dimension_ordered(self, ecube4, torus4):
+        node = torus4.node((3, 3))
+        dst = torus4.node((1, 1))
+        dims = []
+        while node != dst:
+            (link, _), = ecube4.candidates(None, node, dst)
+            dims.append(link.dim)
+            node = link.dst
+        assert dims == sorted(dims)
+        assert len(dims) == torus4.distance(torus4.node((3, 3)), dst)
+
+
+class TestDatelineClasses:
+    def test_wrapping_message_starts_class0(self, ecube4, torus4):
+        src = torus4.node((3, 0))
+        dst = torus4.node((1, 0))  # +1 direction through the wrap
+        (link, vc_class), = ecube4.candidates(None, src, dst)
+        assert link.direction == 1
+        assert vc_class == 0
+
+    def test_after_wrap_uses_class1(self, ecube4, torus4):
+        src = torus4.node((0, 0))  # just wrapped, heading to (1, 0)
+        dst = torus4.node((1, 0))
+        (link, vc_class), = ecube4.candidates(None, src, dst)
+        assert vc_class == 1
+
+    def test_nonwrapping_message_uses_class1(self, ecube4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 0))
+        (_, vc_class), = ecube4.candidates(None, src, dst)
+        assert vc_class == 1
+
+    def test_dateline_function_directly(self):
+        # + direction: wrap still ahead while current > dest.
+        assert dateline_vc_class(6, 2, 1) == 0
+        assert dateline_vc_class(1, 2, 1) == 1
+        # - direction: wrap still ahead while current < dest.
+        assert dateline_vc_class(1, 6, -1) == 0
+        assert dateline_vc_class(6, 2, -1) == 1
+
+
+class TestMessageClass:
+    def test_class_is_first_link_and_vc(self, ecube4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 1))
+        state = ecube4.new_state(src, dst)
+        link_index, vc_class = ecube4.message_class(src, dst, state)
+        (link, expected_class), = ecube4.candidates(state, src, dst)
+        assert link_index == link.index
+        assert vc_class == expected_class
+
+    def test_distinct_destinations_can_share_class(self, ecube4, torus4):
+        """Messages with the same first hop and VC share a class."""
+        src = torus4.node((0, 0))
+        dst_a = torus4.node((1, 1))
+        dst_b = torus4.node((1, 2))
+        cls_a = ecube4.message_class(src, dst_a, None)
+        cls_b = ecube4.message_class(src, dst_b, None)
+        assert cls_a == cls_b

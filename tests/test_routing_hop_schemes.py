@@ -1,0 +1,207 @@
+"""Unit tests for the positive-hop, negative-hop, and bonus-card schemes."""
+
+import pytest
+
+from repro.routing.bonus_cards import NegativeHopBonusCards
+from repro.routing.negative_hop import NegativeHop
+from repro.routing.positive_hop import PositiveHop
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+from repro.util.errors import RoutingError
+
+
+class TestVirtualChannelBudgets:
+    """The VC counts the paper quotes for a 16x16 torus."""
+
+    def test_phop_needs_17(self, torus16):
+        assert PositiveHop(torus16).num_virtual_channels == 17
+
+    def test_nhop_needs_9(self, torus16):
+        assert NegativeHop(torus16).num_virtual_channels == 9
+
+    def test_nbc_needs_9(self, torus16):
+        assert NegativeHopBonusCards(torus16).num_virtual_channels == 9
+
+    def test_phop_small(self, torus4):
+        assert PositiveHop(torus4).num_virtual_channels == 5
+
+    def test_nhop_small(self, torus4):
+        assert NegativeHop(torus4).num_virtual_channels == 3
+
+
+class TestOddRadix:
+    def test_nhop_rejects_odd_torus(self):
+        with pytest.raises(RoutingError):
+            NegativeHop(Torus(5, 2))
+
+    def test_nbc_rejects_odd_torus(self):
+        with pytest.raises(RoutingError):
+            NegativeHopBonusCards(Torus(5, 2))
+
+    def test_phop_accepts_odd_torus(self):
+        assert PositiveHop(Torus(5, 2)).num_virtual_channels == 5
+
+    def test_nhop_accepts_odd_mesh(self):
+        """Meshes are bipartite at any radix."""
+        assert NegativeHop(Mesh(5, 2)).num_virtual_channels == 5
+
+
+class TestPositiveHop:
+    def test_class_equals_hops_taken(self, torus4):
+        scheme = PositiveHop(torus4)
+        src, dst = 0, torus4.node((2, 1))
+        state = scheme.new_state(src, dst)
+        node = src
+        expected = 0
+        while node != dst:
+            choices = scheme.candidates(state, node, dst)
+            for _, vc_class in choices:
+                assert vc_class == expected
+            link, vc_class = choices[0]
+            state = scheme.advance(state, node, link, vc_class)
+            node = link.dst
+            expected += 1
+
+    def test_fully_adaptive_paths(self, torus4):
+        from repro.analysis.invariants import (
+            count_minimal_paths,
+            enumerate_paths,
+        )
+
+        scheme = PositiveHop(torus4)
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 1))
+        assert len(enumerate_paths(scheme, src, dst)) == count_minimal_paths(
+            scheme, src, dst
+        )
+
+
+class TestNegativeHopPaperExample:
+    """The paper's Figure 2: routing (4,4)->(2,2) on a 6x6 torus."""
+
+    def test_channel_classes_along_the_path(self, torus6):
+        scheme = NegativeHop(torus6)
+        # The paper writes (x1, x0): (4,4)->(3,4)->(3,3)->(2,3)->(2,2).
+        def node(paper_coords):
+            return torus6.node((paper_coords[1], paper_coords[0]))
+
+        hops = [(4, 4), (3, 4), (3, 3), (2, 3), (2, 2)]
+        expected_classes = [0, 0, 1, 1]
+        src, dst = node(hops[0]), node(hops[-1])
+        state = scheme.new_state(src, dst)
+        for here, there, expected in zip(hops, hops[1:], expected_classes):
+            current, nxt = node(here), node(there)
+            choices = scheme.candidates(state, current, dst)
+            chosen = [
+                (link, c) for link, c in choices if link.dst == nxt
+            ]
+            assert chosen, f"path hop {here}->{there} must be permitted"
+            link, vc_class = chosen[0]
+            assert vc_class == expected
+            state = scheme.advance(state, current, link, vc_class)
+
+    def test_negative_hop_is_from_odd_node(self, torus6):
+        scheme = NegativeHop(torus6)
+        odd_node = torus6.node((1, 0))
+        even_node = torus6.node((0, 0))
+        assert scheme.class_after_hop(3, odd_node) == 4
+        assert scheme.class_after_hop(3, even_node) == 3
+
+
+class TestNegativeHopsRequired:
+    def test_even_source(self, torus6):
+        scheme = NegativeHop(torus6)
+        src = torus6.node((0, 0))
+        dst = torus6.node((2, 1))  # distance 3, even source
+        assert scheme.negative_hops_required(src, dst) == 1
+
+    def test_odd_source(self, torus6):
+        scheme = NegativeHop(torus6)
+        src = torus6.node((1, 0))
+        dst = torus6.node((0, 2))  # distance 3, odd source
+        assert scheme.negative_hops_required(src, dst) == 2
+
+    def test_path_independent(self, torus6):
+        """Every minimal path takes the same number of negative hops."""
+        from repro.analysis.invariants import enumerate_paths
+
+        scheme = NegativeHop(torus6)
+        src = torus6.node((4, 4))
+        dst = torus6.node((2, 2))
+        expected = scheme.negative_hops_required(src, dst)
+        for path in enumerate_paths(scheme, src, dst):
+            negatives = sum(
+                1 for node in path[:-1] if scheme.topology.parity(node)
+            )
+            assert negatives == expected
+
+
+class TestBonusCards:
+    def test_paper_formula(self, torus16):
+        """bonus = max possible negative hops - negative hops needed."""
+        scheme = NegativeHopBonusCards(torus16)
+        src = torus16.node((0, 0))
+        far = torus16.node((8, 8))  # diametrically opposite
+        near = torus16.node((1, 0))
+        assert scheme.bonus_cards(src, far) == 0
+        assert scheme.bonus_cards(src, near) == 8
+
+    def test_first_hop_offers_class_range(self, torus4):
+        scheme = NegativeHopBonusCards(torus4)
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 0))
+        bonus = scheme.bonus_cards(src, dst)
+        assert bonus == 2
+        state = scheme.new_state(src, dst)
+        classes = {c for _, c in scheme.candidates(state, src, dst)}
+        assert classes == {0, 1, 2}
+
+    def test_after_first_hop_single_class(self, torus4):
+        scheme = NegativeHopBonusCards(torus4)
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 1))
+        state = scheme.new_state(src, dst)
+        link, vc_class = scheme.candidates(state, src, dst)[-1]
+        state = scheme.advance(state, src, link, vc_class)
+        node = link.dst
+        follow_up = {c for _, c in scheme.candidates(state, node, dst)}
+        assert len(follow_up) == 1
+
+    def test_top_class_never_exceeds_budget(self, torus6):
+        """bonus + negative hops <= max negative hops for every pair."""
+        scheme = NegativeHopBonusCards(torus6)
+        top = scheme.num_virtual_channels - 1
+        for src in range(scheme.topology.num_nodes):
+            for dst in range(scheme.topology.num_nodes):
+                if src == dst:
+                    continue
+                ceiling = (
+                    scheme.bonus_cards(src, dst)
+                    + scheme.negative_hops_required(src, dst)
+                )
+                assert ceiling <= top
+
+    def test_zero_bonus_matches_nhop(self, torus4):
+        nbc = NegativeHopBonusCards(torus4)
+        nhop = NegativeHop(torus4)
+        src = torus4.node((0, 0))
+        dst = torus4.node((2, 2))  # diametrically opposite: zero bonus
+        assert nbc.bonus_cards(src, dst) == 0
+        nbc_choices = nbc.candidates(nbc.new_state(src, dst), src, dst)
+        nhop_choices = nhop.candidates(nhop.new_state(src, dst), src, dst)
+        assert {
+            (link.index, c) for link, c in nbc_choices
+        } == {(link.index, c) for link, c in nhop_choices}
+
+
+class TestMessageClasses:
+    def test_phop_single_class(self, torus4):
+        scheme = PositiveHop(torus4)
+        assert scheme.message_class(0, 5, scheme.new_state(0, 5)) == 0
+
+    def test_nbc_class_is_bonus(self, torus4):
+        scheme = NegativeHopBonusCards(torus4)
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 0))
+        state = scheme.new_state(src, dst)
+        assert scheme.message_class(src, dst, state) == 2

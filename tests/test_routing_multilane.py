@@ -1,0 +1,78 @@
+"""Unit tests for the multi-lane virtual-channel wrapper (§4 extension)."""
+
+import pytest
+
+from repro.analysis import build_dependency_graph, is_acyclic
+from repro.routing.multilane import MultiLane, with_lanes
+from repro.routing.registry import make_algorithm
+from repro.util.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_multiplies_vcs(self, torus4):
+        wrapped = make_algorithm("ecubex3", torus4)
+        assert wrapped.num_virtual_channels == 6
+        assert wrapped.name == "ecubex3"
+
+    def test_one_lane_returns_inner(self, torus4):
+        inner = make_algorithm("ecube", torus4)
+        assert with_lanes(inner, 1) is inner
+
+    def test_registry_suffix_parsing(self, torus16):
+        assert make_algorithm("ecubex4", torus16).num_virtual_channels == 8
+        assert make_algorithm("nhopx2", torus16).num_virtual_channels == 18
+
+    def test_registry_rejects_bad_base(self, torus4):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("bogusx2", torus4)
+
+    def test_zero_lanes_rejected(self, torus4):
+        with pytest.raises(ConfigurationError):
+            MultiLane(make_algorithm("ecube", torus4), 0)
+
+
+class TestRouting:
+    def test_candidates_expand_per_lane(self, torus4):
+        inner = make_algorithm("ecube", torus4)
+        wrapped = MultiLane(make_algorithm("ecube", torus4), 2)
+        src, dst = 0, torus4.node((2, 1))
+        inner_choices = inner.candidates(inner.new_state(src, dst), src, dst)
+        wrapped_choices = wrapped.candidates(
+            wrapped.new_state(src, dst), src, dst
+        )
+        assert len(wrapped_choices) == 2 * len(inner_choices)
+        (link, vc_class), = inner_choices
+        lanes = {c for l, c in wrapped_choices if l is link}
+        assert lanes == {2 * vc_class, 2 * vc_class + 1}
+
+    def test_advance_divides_lane_back_to_class(self, torus4):
+        wrapped = MultiLane(make_algorithm("nhop", torus4), 2)
+        src = torus4.node((1, 0))  # odd source: first hop is negative
+        dst = torus4.node((0, 1))
+        state = wrapped.new_state(src, dst)
+        link, lane = wrapped.candidates(state, src, dst)[1]
+        state = wrapped.advance(state, src, link, lane)
+        # After a negative hop the inner class is 1 -> lanes {2, 3}.
+        lanes = {c for _, c in wrapped.candidates(state, link.dst, dst)}
+        assert lanes == {2, 3}
+
+    def test_minimality_preserved(self, torus4):
+        from repro.analysis.invariants import check_candidates_minimal
+
+        wrapped = make_algorithm("nbcx2", torus4)
+        for dst in (1, 5, 10, 15):
+            assert check_candidates_minimal(wrapped, 0, dst) > 0
+
+
+class TestDeadlockFreedom:
+    @pytest.mark.parametrize("base", ["ecube", "nhop"])
+    def test_wrapped_graph_stays_acyclic(self, base, torus4):
+        wrapped = make_algorithm(f"{base}x2", torus4)
+        assert is_acyclic(build_dependency_graph(wrapped))
+
+    def test_end_to_end_simulation(self):
+        from repro.experiments.runner import run_point
+        from tests.conftest import tiny_config
+
+        result = run_point(tiny_config(algorithm="ecubex2", seed=3))
+        assert result.messages_delivered > 0

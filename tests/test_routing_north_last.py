@@ -1,0 +1,142 @@
+"""Unit tests for the north-last partially adaptive algorithm."""
+
+import pytest
+
+from repro.routing.north_last import NorthLast
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+from repro.util.errors import RoutingError
+
+
+@pytest.fixture
+def nlast_mesh():
+    return NorthLast(Mesh(10, 2))
+
+
+@pytest.fixture
+def nlast4(torus4):
+    return NorthLast(torus4)
+
+
+class TestResources:
+    def test_three_vcs_on_torus(self, nlast4):
+        # wrap-count classes: 0, 1, 2 wrap crossings
+        assert nlast4.num_virtual_channels == 3
+
+    def test_one_vc_on_mesh(self, nlast_mesh):
+        assert nlast_mesh.num_virtual_channels == 1
+
+    def test_partially_adaptive(self, nlast4):
+        assert nlast4.adaptive
+        assert not nlast4.fully_adaptive
+
+    def test_rejects_3d(self, torus4_3d):
+        with pytest.raises(RoutingError):
+            NorthLast(torus4_3d)
+
+
+class TestPaperExample:
+    """The paper: routing (3,3)->(1,1) on a 10x10 network always goes
+    through (3,2), (3,1), (2,1) — coordinates written (x1, x0)."""
+
+    def path_of(self, algorithm, topo, src_coords, dst_coords):
+        # The paper writes (x1, x0); our coords tuples are (x0, x1).
+        src = topo.node((src_coords[1], src_coords[0]))
+        dst = topo.node((dst_coords[1], dst_coords[0]))
+        state = algorithm.new_state(src, dst)
+        node = src
+        visited = []
+        while node != dst:
+            choices = algorithm.candidates(state, node, dst)
+            assert len(choices) == 1, "north messages have no adaptivity"
+            link, vc_class = choices[0]
+            state = algorithm.advance(state, node, link, vc_class)
+            node = link.dst
+            c = topo.coords(node)
+            visited.append((c[1], c[0]))
+        return visited
+
+    def test_mesh_path_is_forced(self, nlast_mesh):
+        path = self.path_of(
+            nlast_mesh, nlast_mesh.topology, (3, 3), (1, 1)
+        )
+        assert path == [(3, 2), (3, 1), (2, 1), (1, 1)]
+
+
+class TestModes:
+    def test_north_message_is_ecube_ordered(self, nlast_mesh):
+        topo = nlast_mesh.topology
+        src = topo.node((3, 3))
+        dst = topo.node((1, 1))  # needs -1 hops in dim 1: north
+        state = nlast_mesh.new_state(src, dst)
+        assert state.ecube_order
+
+    def test_south_message_is_adaptive(self, nlast_mesh):
+        topo = nlast_mesh.topology
+        src = topo.node((1, 1))
+        dst = topo.node((3, 3))
+        state = nlast_mesh.new_state(src, dst)
+        assert not state.ecube_order
+
+    def test_adaptive_message_offers_both_dims(self, nlast_mesh):
+        topo = nlast_mesh.topology
+        src = topo.node((1, 1))
+        dst = topo.node((3, 3))
+        state = nlast_mesh.new_state(src, dst)
+        choices = nlast_mesh.candidates(state, src, dst)
+        assert {link.dim for link, _ in choices} == {0, 1}
+
+    def test_adaptive_message_never_offers_north(self, nlast4, torus4):
+        for src in range(torus4.num_nodes):
+            for dst in range(torus4.num_nodes):
+                if src == dst:
+                    continue
+                state = nlast4.new_state(src, dst)
+                if state.ecube_order:
+                    continue
+                for link, _ in nlast4.candidates(state, src, dst):
+                    assert not (link.dim == 1 and link.direction == -1)
+
+    def test_torus_tie_in_dim1_stays_adaptive(self, nlast4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((0, 2))  # dim-1 tie on a 4-ring
+        state = nlast4.new_state(src, dst)
+        assert not state.ecube_order
+
+
+class TestWrapCountClasses:
+    def test_class_starts_at_zero(self, nlast4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 1))
+        state = nlast4.new_state(src, dst)
+        for _, vc_class in nlast4.candidates(state, src, dst):
+            assert vc_class == 0
+
+    def test_class_increments_on_wrap(self, nlast4, torus4):
+        src = torus4.node((3, 0))
+        dst = torus4.node((1, 1))
+        state = nlast4.new_state(src, dst)
+        wrap_link = torus4.out_link(src, 0, 1)
+        assert wrap_link.wraps
+        state = nlast4.advance(state, src, wrap_link, 0)
+        assert state.wraps == 1
+        node = wrap_link.dst
+        for _, vc_class in nlast4.candidates(state, node, dst):
+            assert vc_class == 1
+
+    def test_class_never_exceeds_provisioned(self, nlast4, torus4):
+        from repro.analysis.invariants import check_candidates_minimal
+
+        for src in (0, 5, 10, 15):
+            for dst in range(torus4.num_nodes):
+                if dst != src:
+                    check_candidates_minimal(nlast4, src, dst)
+
+
+class TestMessageClass:
+    def test_is_link_and_class_pair(self, nlast4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 1))
+        state = nlast4.new_state(src, dst)
+        key = nlast4.message_class(src, dst, state)
+        assert isinstance(key, tuple) and len(key) == 2

@@ -1,0 +1,62 @@
+"""Unit tests for the algorithm registry."""
+
+import pytest
+
+from repro.routing.registry import (
+    ALGORITHM_NAMES,
+    available_algorithms,
+    make_algorithm,
+    register_algorithm,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_paper_order(self):
+        assert ALGORITHM_NAMES == (
+            "ecube", "nlast", "2pn", "phop", "nhop", "nbc",
+        )
+
+    def test_all_names_constructible(self, torus4):
+        for name in ALGORITHM_NAMES:
+            algorithm = make_algorithm(name, torus4)
+            assert algorithm.name == name
+
+    def test_available_is_sorted(self):
+        names = available_algorithms()
+        assert names == sorted(names)
+        assert set(ALGORITHM_NAMES) <= set(names)
+
+    def test_unknown_name_raises(self, torus4):
+        with pytest.raises(ConfigurationError, match="unknown routing"):
+            make_algorithm("bogus", torus4)
+
+    def test_register_custom(self, torus4):
+        from repro.routing.ecube import ECube
+
+        class Custom(ECube):
+            name = "custom-test-algo"
+
+        register_algorithm("custom-test-algo", Custom)
+        try:
+            assert make_algorithm(
+                "custom-test-algo", torus4
+            ).name == "custom-test-algo"
+        finally:
+            from repro.routing import registry
+
+            del registry._FACTORIES["custom-test-algo"]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_algorithm("ecube", lambda t: None)
+
+
+class TestDescribe:
+    def test_description_mentions_vcs(self, torus16):
+        description = make_algorithm("phop", torus16).describe()
+        assert "17 virtual channels" in description
+        assert "fully adaptive" in description
+
+    def test_ecube_nonadaptive(self, torus16):
+        assert "non-adaptive" in make_algorithm("ecube", torus16).describe()

@@ -1,0 +1,117 @@
+"""Unit tests for the two-power-n (2pn) algorithm."""
+
+import pytest
+
+from repro.routing.two_power_n import TwoPowerN
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def tpn4(torus4):
+    return TwoPowerN(torus4)
+
+
+class TestResources:
+    def test_four_vcs_on_2d(self, tpn4):
+        """The paper: 2pn uses the fewest virtual channels, four, for tori."""
+        assert tpn4.num_virtual_channels == 4
+
+    def test_eight_vcs_on_3d(self, torus4_3d):
+        assert TwoPowerN(torus4_3d).num_virtual_channels == 8
+
+    def test_fully_adaptive(self, tpn4):
+        assert tpn4.fully_adaptive
+
+
+class TestTag:
+    def test_tag_bit_set_when_source_below_destination(self, tpn4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 0))  # s0 < d0 only
+        assert tpn4.compute_tag(src, dst) == 0b01
+
+    def test_tag_bit_clear_when_source_above(self, tpn4, torus4):
+        src = torus4.node((3, 0))
+        dst = torus4.node((1, 0))
+        assert tpn4.compute_tag(src, dst) == 0b00
+
+    def test_both_bits(self, tpn4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 1))
+        assert tpn4.compute_tag(src, dst) == 0b11
+
+    def test_free_bit_defaults_to_zero(self, tpn4, torus4):
+        src = torus4.node((2, 0))
+        dst = torus4.node((2, 1))  # dim 0 aligned: free bit -> 0
+        assert tpn4.compute_tag(src, dst) == 0b10
+
+    def test_tag_is_index_comparison_not_direction(self, tpn4, torus4):
+        # s0=0 < d0=3, but minimal travel is the -1 (wrapping) direction:
+        # the tag still reflects the index comparison.
+        src = torus4.node((0, 0))
+        dst = torus4.node((3, 0))
+        assert tpn4.compute_tag(src, dst) == 0b01
+
+
+class TestRouting:
+    def test_uses_tag_class_on_every_hop(self, tpn4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((2, 1))
+        state = tpn4.new_state(src, dst)
+        node = src
+        while node != dst:
+            choices = tpn4.candidates(state, node, dst)
+            for _, vc_class in choices:
+                assert vc_class == state
+            link, vc_class = choices[0]
+            state = tpn4.advance(state, node, link, vc_class)
+            node = link.dst
+
+    def test_offers_all_uncorrected_dimensions(self, tpn4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 1))
+        choices = tpn4.candidates(tpn4.new_state(src, dst), src, dst)
+        assert {link.dim for link, _ in choices} == {0, 1}
+
+    def test_tie_offers_both_directions(self, tpn4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((2, 0))
+        choices = tpn4.candidates(tpn4.new_state(src, dst), src, dst)
+        directions = {link.direction for link, _ in choices if link.dim == 0}
+        assert directions == {1, -1}
+
+    def test_allows_every_minimal_path(self, tpn4, torus4):
+        from repro.analysis.invariants import (
+            count_minimal_paths,
+            enumerate_paths,
+        )
+
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 1))
+        paths = enumerate_paths(tpn4, src, dst)
+        assert len(paths) == count_minimal_paths(tpn4, src, dst) == 2
+
+
+class TestMeshVariant:
+    def test_mesh_uses_same_tag_scheme(self):
+        mesh = Mesh(4, 2)
+        algorithm = TwoPowerN(mesh)
+        assert algorithm.num_virtual_channels == 4
+        src = mesh.node((0, 0))
+        dst = mesh.node((3, 2))
+        assert algorithm.compute_tag(src, dst) == 0b11
+
+    def test_mesh_dependency_graph_acyclic(self):
+        """Dally's mesh construction: direction-coherent classes."""
+        from repro.analysis import build_dependency_graph, is_acyclic
+
+        algorithm = TwoPowerN(Mesh(4, 2))
+        assert is_acyclic(build_dependency_graph(algorithm))
+
+
+class TestMessageClass:
+    def test_class_is_tag(self, tpn4, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((1, 1))
+        state = tpn4.new_state(src, dst)
+        assert tpn4.message_class(src, dst, state) == state

@@ -1,0 +1,97 @@
+"""Unit tests for node addressing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.coords import coords_to_node, node_to_coords, parity
+from repro.util.errors import TopologyError
+
+
+class TestNodeToCoords:
+    def test_origin(self):
+        assert node_to_coords(0, 4, 2) == (0, 0)
+
+    def test_dimension_zero_is_least_significant(self):
+        assert node_to_coords(3, 4, 2) == (3, 0)
+
+    def test_dimension_one_is_next_digit(self):
+        assert node_to_coords(4, 4, 2) == (0, 1)
+
+    def test_max_node(self):
+        assert node_to_coords(15, 4, 2) == (3, 3)
+
+    def test_three_dimensions(self):
+        # 27 = 1*16 + 2*4 + 3
+        assert node_to_coords(27, 4, 3) == (3, 2, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(TopologyError):
+            node_to_coords(-1, 4, 2)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(TopologyError):
+            node_to_coords(16, 4, 2)
+
+
+class TestCoordsToNode:
+    def test_origin(self):
+        assert coords_to_node((0, 0), 4) == 0
+
+    def test_mixed(self):
+        assert coords_to_node((3, 1), 4) == 7
+
+    def test_rejects_out_of_range_coordinate(self):
+        with pytest.raises(TopologyError):
+            coords_to_node((4, 0), 4)
+
+    def test_rejects_negative_coordinate(self):
+        with pytest.raises(TopologyError):
+            coords_to_node((-1, 0), 4)
+
+
+class TestParity:
+    def test_even_node(self):
+        assert parity((0, 0)) == 0
+        assert parity((1, 1)) == 0
+        assert parity((2, 4)) == 0
+
+    def test_odd_node(self):
+        assert parity((1, 0)) == 1
+        assert parity((3, 4)) == 1
+
+    def test_three_dims(self):
+        assert parity((1, 1, 1)) == 1
+
+
+@given(
+    radix=st.integers(min_value=2, max_value=9),
+    n_dims=st.integers(min_value=1, max_value=4),
+    data=st.data(),
+)
+def test_roundtrip_property(radix, n_dims, data):
+    """coords_to_node inverts node_to_coords for every valid node."""
+    node = data.draw(
+        st.integers(min_value=0, max_value=radix**n_dims - 1)
+    )
+    coords = node_to_coords(node, radix, n_dims)
+    assert len(coords) == n_dims
+    assert all(0 <= c < radix for c in coords)
+    assert coords_to_node(coords, radix) == node
+
+
+@given(
+    radix=st.integers(min_value=2, max_value=8),
+    data=st.data(),
+)
+def test_adjacent_nodes_differ_in_parity_when_even_radix(radix, data):
+    """For even radix the parity coloring is a proper 2-coloring."""
+    if radix % 2 != 0:
+        radix += 1
+    node = data.draw(st.integers(min_value=0, max_value=radix**2 - 1))
+    coords = node_to_coords(node, radix, 2)
+    for dim in range(2):
+        for delta in (1, -1):
+            neighbour = list(coords)
+            neighbour[dim] = (neighbour[dim] + delta) % radix
+            assert parity(coords) != parity(tuple(neighbour))

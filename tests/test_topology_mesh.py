@@ -1,0 +1,62 @@
+"""Unit tests for the mesh topology."""
+
+import pytest
+
+from repro.topology.mesh import Mesh
+
+
+class TestConstruction:
+    def test_node_count(self, mesh4):
+        assert mesh4.num_nodes == 16
+
+    def test_corner_has_two_outgoing_links(self, mesh4):
+        assert len(list(mesh4.out_links(0))) == 2
+
+    def test_edge_node_has_three(self, mesh4):
+        edge = mesh4.node((1, 0))
+        assert len(list(mesh4.out_links(edge))) == 3
+
+    def test_interior_node_has_four(self, mesh4):
+        interior = mesh4.node((1, 1))
+        assert len(list(mesh4.out_links(interior))) == 4
+
+    def test_total_links(self, mesh4):
+        # 2 * n * k^(n-1) * (k-1) bidirectional pairs = 2 links each
+        assert mesh4.num_links == 2 * 2 * 4 * 3
+
+    def test_no_wrap_links(self, mesh4):
+        assert not any(link.wraps for link in mesh4.links)
+
+    def test_boundary_out_link_missing(self, mesh4):
+        top = mesh4.node((3, 0))
+        assert mesh4.out_link(top, 0, 1) is None
+
+
+class TestDistances:
+    def test_manhattan_distance(self, mesh4):
+        assert mesh4.distance(mesh4.node((0, 0)), mesh4.node((3, 3))) == 6
+
+    def test_diameter(self, mesh4):
+        assert mesh4.diameter == 6
+
+    def test_average_distance_small(self):
+        mesh2 = Mesh(2, 1)
+        assert mesh2.average_distance() == pytest.approx(1.0)
+
+    def test_minimal_direction_unique(self, mesh4):
+        src = mesh4.node((0, 0))
+        dst = mesh4.node((3, 0))
+        assert mesh4.minimal_directions(src, dst, 0) == (1,)
+        assert mesh4.minimal_directions(dst, src, 0) == (-1,)
+
+    def test_max_negative_hops(self, mesh4):
+        assert mesh4.max_negative_hops() == 3
+
+
+class TestBipartite:
+    def test_neighbours_alternate_parity_any_radix(self):
+        """Meshes are bipartite regardless of radix (unlike odd tori)."""
+        mesh5 = Mesh(5, 2)
+        for node in range(mesh5.num_nodes):
+            for link in mesh5.out_links(node):
+                assert mesh5.parity(link.src) != mesh5.parity(link.dst)

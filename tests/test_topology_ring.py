@@ -1,0 +1,117 @@
+"""Unit and property tests for single-ring arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.ring import (
+    crosses_wrap,
+    ring_directions,
+    ring_distance,
+    ring_offset,
+    step,
+)
+
+
+class TestRingDistance:
+    def test_same_node(self):
+        assert ring_distance(3, 3, 8) == 0
+
+    def test_forward_shorter(self):
+        assert ring_distance(1, 3, 8) == 2
+
+    def test_backward_shorter(self):
+        assert ring_distance(1, 7, 8) == 2
+
+    def test_half_ring(self):
+        assert ring_distance(0, 4, 8) == 4
+
+    def test_odd_radix(self):
+        assert ring_distance(0, 3, 5) == 2  # backward through 4
+
+
+class TestRingDirections:
+    def test_aligned_gives_nothing(self):
+        assert ring_directions(2, 2, 8) == ()
+
+    def test_forward(self):
+        assert ring_directions(0, 3, 8) == (1,)
+
+    def test_backward(self):
+        assert ring_directions(0, 6, 8) == (-1,)
+
+    def test_tie_gives_both(self):
+        assert ring_directions(0, 4, 8) == (1, -1)
+
+    def test_odd_radix_never_ties(self):
+        for src in range(5):
+            for dst in range(5):
+                if src != dst:
+                    assert len(ring_directions(src, dst, 5)) == 1
+
+
+class TestRingOffset:
+    def test_forward(self):
+        assert ring_offset(1, 3, 8) == 2
+
+    def test_backward(self):
+        assert ring_offset(1, 7, 8) == -2
+
+    def test_tie_reported_positive(self):
+        assert ring_offset(0, 4, 8) == 4
+
+
+class TestStepAndWrap:
+    def test_step_forward(self):
+        assert step(3, 1, 8) == 4
+
+    def test_step_forward_wraps(self):
+        assert step(7, 1, 8) == 0
+
+    def test_step_backward_wraps(self):
+        assert step(0, -1, 8) == 7
+
+    def test_crosses_wrap_forward_only_at_top(self):
+        assert crosses_wrap(7, 1, 8)
+        assert not crosses_wrap(6, 1, 8)
+
+    def test_crosses_wrap_backward_only_at_zero(self):
+        assert crosses_wrap(0, -1, 8)
+        assert not crosses_wrap(1, -1, 8)
+
+
+@given(
+    radix=st.integers(min_value=2, max_value=16),
+    src=st.integers(min_value=0, max_value=15),
+    dst=st.integers(min_value=0, max_value=15),
+)
+def test_minimal_direction_reduces_distance(radix, src, dst):
+    src %= radix
+    dst %= radix
+    before = ring_distance(src, dst, radix)
+    for direction in ring_directions(src, dst, radix):
+        after = ring_distance(step(src, direction, radix), dst, radix)
+        assert after == before - 1
+
+
+@given(
+    radix=st.integers(min_value=2, max_value=16),
+    src=st.integers(min_value=0, max_value=15),
+    dst=st.integers(min_value=0, max_value=15),
+)
+def test_distance_is_symmetric_and_bounded(radix, src, dst):
+    src %= radix
+    dst %= radix
+    distance = ring_distance(src, dst, radix)
+    assert distance == ring_distance(dst, src, radix)
+    assert 0 <= distance <= radix // 2
+
+
+@given(
+    radix=st.integers(min_value=2, max_value=16),
+    src=st.integers(min_value=0, max_value=15),
+    dst=st.integers(min_value=0, max_value=15),
+)
+def test_offset_magnitude_matches_distance(radix, src, dst):
+    src %= radix
+    dst %= radix
+    assert abs(ring_offset(src, dst, radix)) == ring_distance(src, dst, radix)

@@ -1,0 +1,115 @@
+"""Unit tests for the k-ary n-cube topology."""
+
+import pytest
+
+from repro.topology.torus import Torus
+from repro.util.errors import ConfigurationError, TopologyError
+
+
+class TestConstruction:
+    def test_node_count(self, torus4):
+        assert torus4.num_nodes == 16
+
+    def test_link_count_is_2n_per_node(self, torus4):
+        assert torus4.num_links == 16 * 4
+
+    def test_paper_network_has_1024_links(self, torus16):
+        """The 16x16 torus of the paper: 256 nodes, 1024 channels."""
+        assert torus16.num_nodes == 256
+        assert torus16.num_links == 1024
+
+    def test_three_dimensional(self, torus4_3d):
+        assert torus4_3d.num_nodes == 64
+        assert torus4_3d.num_links == 64 * 6
+
+    def test_rejects_radix_one(self):
+        with pytest.raises(ConfigurationError):
+            Torus(1, 2)
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ConfigurationError):
+            Torus(4, 0)
+
+
+class TestLinks:
+    def test_every_node_has_2n_outgoing(self, torus4):
+        for node in range(torus4.num_nodes):
+            assert len(list(torus4.out_links(node))) == 4
+
+    def test_out_link_destination(self, torus4):
+        link = torus4.out_link(0, 0, 1)
+        assert link.src == 0
+        assert link.dst == torus4.node((1, 0))
+
+    def test_wrap_flags(self, torus4):
+        top = torus4.node((3, 0))
+        wrap_link = torus4.out_link(top, 0, 1)
+        assert wrap_link.wraps
+        assert wrap_link.dst == torus4.node((0, 0))
+        inner = torus4.out_link(0, 0, 1)
+        assert not inner.wraps
+
+    def test_backward_wrap_at_zero(self, torus4):
+        wrap_link = torus4.out_link(0, 0, -1)
+        assert wrap_link.wraps
+        assert wrap_link.dst == torus4.node((3, 0))
+
+    def test_link_indices_are_dense(self, torus4):
+        indices = [link.index for link in torus4.links]
+        assert indices == list(range(torus4.num_links))
+
+    def test_unidirectional_pairs(self, torus4):
+        """Adjacent nodes are connected by two opposite unidirectional links."""
+        forward = torus4.out_link(0, 1, 1)
+        backward = torus4.out_link(forward.dst, 1, -1)
+        assert backward.dst == 0
+
+
+class TestDistances:
+    def test_diameter(self, torus16):
+        assert torus16.diameter == 16
+
+    def test_diameter_small(self, torus4):
+        assert torus4.diameter == 4
+
+    def test_average_distance_matches_paper(self, torus16):
+        """The paper: 16^2 has an average diameter of 8.03."""
+        assert torus16.average_distance() == pytest.approx(8.031, abs=0.001)
+
+    def test_distance_wraps(self, torus4):
+        assert torus4.distance(torus4.node((0, 0)), torus4.node((3, 3))) == 2
+
+    def test_max_negative_hops(self, torus16):
+        """9 virtual-channel classes for nhop on 16^2 => 8 negative hops."""
+        assert torus16.max_negative_hops() == 8
+
+    def test_coords_out_of_range(self, torus4):
+        with pytest.raises(TopologyError):
+            torus4.coords(torus4.num_nodes)
+
+
+class TestMinimalDirections:
+    def test_tie_allows_both(self, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((2, 0))
+        assert torus4.minimal_directions(src, dst, 0) == (1, -1)
+
+    def test_unique_direction(self, torus4):
+        src = torus4.node((0, 0))
+        dst = torus4.node((3, 0))
+        assert torus4.minimal_directions(src, dst, 0) == (-1,)
+
+    def test_aligned_dimension_empty(self, torus4):
+        src = torus4.node((1, 2))
+        dst = torus4.node((1, 3))
+        assert torus4.minimal_directions(src, dst, 0) == ()
+
+
+class TestParity:
+    def test_origin_even(self, torus4):
+        assert torus4.parity(0) == 0
+
+    def test_neighbours_alternate(self, torus6):
+        for node in range(torus6.num_nodes):
+            for link in torus6.out_links(node):
+                assert torus6.parity(link.src) != torus6.parity(link.dst)

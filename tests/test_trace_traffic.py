@@ -1,0 +1,133 @@
+"""Tests for trace-driven workloads and the trace runner."""
+
+import io
+
+import pytest
+
+from repro.experiments.trace_runner import compare_algorithms, run_trace
+from repro.traffic.trace import (
+    MessageTrace,
+    reduction_trace,
+    stencil_trace,
+)
+from repro.util.errors import ConfigurationError
+from tests.conftest import tiny_config
+
+
+class TestMessageTrace:
+    def test_sorts_events(self):
+        trace = MessageTrace([(5, 0, 1), (2, 1, 2), (2, 0, 3)])
+        assert list(trace) == [(2, 0, 3), (2, 1, 2), (5, 0, 1)]
+        assert trace.horizon == 5
+
+    def test_rejects_self_addressed(self):
+        with pytest.raises(ConfigurationError):
+            MessageTrace([(0, 3, 3)])
+
+    def test_rejects_negative_cycle(self):
+        with pytest.raises(ConfigurationError):
+            MessageTrace([(-1, 0, 1)])
+
+    def test_empty_trace(self):
+        trace = MessageTrace([])
+        assert len(trace) == 0
+        assert trace.horizon == 0
+
+    def test_validate_for_topology(self, torus4):
+        MessageTrace([(0, 0, 15)]).validate_for(torus4)
+        with pytest.raises(ConfigurationError, match="outside"):
+            MessageTrace([(0, 0, 16)]).validate_for(torus4)
+
+    def test_text_roundtrip(self):
+        trace = MessageTrace([(0, 1, 2), (4, 3, 0)])
+        out = io.StringIO()
+        trace.to_text(out)
+        again = MessageTrace.from_text(io.StringIO(out.getvalue()))
+        assert list(again) == list(trace)
+
+    def test_from_text_rejects_malformed(self):
+        with pytest.raises(ConfigurationError, match="expected"):
+            MessageTrace.from_text(io.StringIO("1 2\n"))
+        with pytest.raises(ConfigurationError, match="non-integer"):
+            MessageTrace.from_text(io.StringIO("a b c\n"))
+
+    def test_from_text_skips_comments_and_blanks(self):
+        text = "# header\n\n0 1 2  # inline\n"
+        trace = MessageTrace.from_text(io.StringIO(text))
+        assert list(trace) == [(0, 1, 2)]
+
+
+class TestGenerators:
+    def test_stencil_counts(self, torus4):
+        trace = stencil_trace(torus4, iterations=2, period=10)
+        # Every node sends to its 4 neighbours, twice.
+        assert len(trace) == 2 * 16 * 4
+        assert trace.horizon == 10
+        for _, src, dst in trace:
+            assert torus4.distance(src, dst) == 1
+
+    def test_stencil_on_mesh_respects_boundaries(self, mesh4):
+        trace = stencil_trace(mesh4, iterations=1, period=1)
+        assert len(trace) == mesh4.num_links
+
+    def test_reduction_reaches_root(self, torus4):
+        root = torus4.node((1, 2))
+        trace = reduction_trace(torus4, root, rounds=1, period=50)
+        # Dim-0 step: 12 senders; dim-1 step: 3 senders.
+        assert len(trace) == 12 + 3
+        destinations = {dst for _, _, dst in trace}
+        root_coords = torus4.coords(root)
+        for dst in destinations:
+            coords = torus4.coords(dst)
+            assert coords[0] == root_coords[0]
+
+    def test_reduction_rounds_staggered(self, torus4):
+        trace = reduction_trace(torus4, 0, rounds=2, period=100)
+        cycles = {cycle for cycle, _, _ in trace}
+        assert cycles == {0, 1, 100, 101}
+
+
+class TestTraceReplay:
+    def test_single_event_latency_is_ideal(self):
+        config = tiny_config(message_length=4)
+        trace = MessageTrace([(0, 0, 1)])
+        result = run_trace(config, trace)
+        assert result.messages_delivered == 1
+        assert result.average_latency == 4 + 1 - 1
+        assert result.makespan >= 4
+
+    def test_all_events_delivered(self, torus4):
+        config = tiny_config(message_length=4, seed=3)
+        trace = stencil_trace(torus4, iterations=3, period=20)
+        result = run_trace(config, trace)
+        assert result.messages_delivered == len(trace)
+
+    def test_blocking_send_retries_instead_of_dropping(self, torus4):
+        """A burst far over the injection limit must still deliver fully."""
+        config = tiny_config(message_length=4, injection_limit=1, seed=4)
+        burst = MessageTrace([(0, 0, 5)] * 12)
+        result = run_trace(config, burst)
+        assert result.messages_delivered == 12
+
+    def test_makespan_guard(self, torus4):
+        config = tiny_config(message_length=4)
+        trace = MessageTrace([(0, 0, 1)])
+        with pytest.raises(ConfigurationError, match="did not complete"):
+            run_trace(config, trace, max_cycles=2)
+
+    def test_compare_algorithms(self, torus4):
+        config = tiny_config(message_length=4, seed=5)
+        trace = reduction_trace(torus4, 0, rounds=3, period=30)
+        results = compare_algorithms(config, trace, ("ecube", "nbc"))
+        assert set(results) == {"ecube", "nbc"}
+        for result in results.values():
+            assert result.messages_delivered == len(trace)
+            assert result.makespan > 0
+
+    def test_engine_determinism_with_traces(self, torus4):
+        config = tiny_config(message_length=4, seed=6)
+        trace = stencil_trace(torus4, iterations=2, period=15)
+        first = run_trace(config, trace)
+        second = run_trace(config, trace)
+        assert first.makespan == second.makespan
+        assert first.average_latency == second.average_latency

@@ -1,0 +1,111 @@
+"""Unit and property tests for arrivals and offered-load accounting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.arrivals import GeometricArrivals
+from repro.traffic.load import (
+    channels_per_node,
+    offered_load_to_rate,
+    rate_to_offered_load,
+)
+from repro.traffic.uniform import UniformTraffic
+from repro.util.errors import ConfigurationError
+
+
+class TestGeometricArrivals:
+    def test_requires_start(self):
+        arrivals = GeometricArrivals(4, 0.5)
+        with pytest.raises(AssertionError):
+            arrivals.pop_due(0, random.Random(0))
+
+    def test_zero_rate_never_fires(self):
+        arrivals = GeometricArrivals(4, 0.0)
+        rng = random.Random(0)
+        arrivals.start(0, rng)
+        for cycle in range(100):
+            assert arrivals.pop_due(cycle, rng) == []
+
+    def test_rate_one_fires_every_cycle(self):
+        arrivals = GeometricArrivals(3, 1.0)
+        rng = random.Random(0)
+        arrivals.start(0, rng)
+        for cycle in range(5):
+            assert sorted(arrivals.pop_due(cycle, rng)) == [0, 1, 2]
+
+    def test_long_run_rate_matches(self):
+        rate = 0.13
+        arrivals = GeometricArrivals(8, rate)
+        rng = random.Random(42)
+        arrivals.start(0, rng)
+        cycles = 8000
+        count = sum(
+            len(arrivals.pop_due(cycle, rng)) for cycle in range(cycles)
+        )
+        assert count / (8 * cycles) == pytest.approx(rate, rel=0.05)
+
+    def test_reseed_preserves_rate(self):
+        arrivals = GeometricArrivals(4, 0.2)
+        rng = random.Random(7)
+        arrivals.start(0, rng)
+        for cycle in range(100):
+            arrivals.pop_due(cycle, rng)
+        arrivals.reseed(100, random.Random(8))
+        count = sum(
+            len(arrivals.pop_due(cycle, rng)) for cycle in range(100, 3100)
+        )
+        assert count / (4 * 3000) == pytest.approx(0.2, rel=0.15)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeometricArrivals(4, 1.5)
+
+    @given(rate=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=20, deadline=None)
+    def test_gaps_are_at_least_one(self, rate):
+        arrivals = GeometricArrivals(1, rate)
+        rng = random.Random(1)
+        arrivals.start(0, rng)
+        fired = []
+        for cycle in range(300):
+            if arrivals.pop_due(cycle, rng):
+                fired.append(cycle)
+        assert all(b > a for a, b in zip(fired, fired[1:]))
+
+
+class TestOfferedLoad:
+    def test_torus_channels_per_node_is_2n(self, torus16):
+        assert channels_per_node(torus16) == 4.0
+
+    def test_paper_full_load_rate(self, torus16):
+        """rho=1 on 16^2 with 16-flit msgs: lambda = 4/(16*8.03) ~ 0.031."""
+        mean = UniformTraffic(torus16).mean_distance()
+        rate = offered_load_to_rate(1.0, torus16, 16, mean)
+        assert rate == pytest.approx(0.0311, abs=0.0005)
+
+    def test_roundtrip(self, torus8):
+        mean = 4.0
+        rate = offered_load_to_rate(0.45, torus8, 16, mean)
+        assert rate_to_offered_load(
+            rate, torus8, 16, mean
+        ) == pytest.approx(0.45)
+
+    def test_rate_capped_at_one(self, torus4):
+        assert offered_load_to_rate(100.0, torus4, 1, 0.1) == 1.0
+
+    def test_negative_load_rejected(self, torus4):
+        with pytest.raises(ValueError):
+            offered_load_to_rate(-0.1, torus4, 16, 2.0)
+
+    @given(load=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_rate_monotone_in_load(self, load):
+        from repro.topology.torus import Torus
+
+        torus = Torus(8, 2)
+        low = offered_load_to_rate(load / 2, torus, 16, 4.0)
+        high = offered_load_to_rate(load, torus, 16, 4.0)
+        assert low <= high

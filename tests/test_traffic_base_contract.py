@@ -1,0 +1,87 @@
+"""Contract tests for the TrafficPattern base machinery."""
+
+import random
+
+import pytest
+
+from repro.topology.torus import Torus
+from repro.traffic.base import TrafficPattern, UniformOverSetPattern
+from repro.traffic.registry import available_patterns, make_traffic
+from repro.util.errors import ConfigurationError
+
+
+class _TwoTargets(UniformOverSetPattern):
+    """Every node sends to nodes 1 and 2 (unless it is one of them)."""
+
+    name = "two-targets"
+
+    def candidate_destinations(self, src):
+        return [dst for dst in (1, 2) if dst != src]
+
+
+class _Silent(TrafficPattern):
+    """A pattern that never generates messages."""
+
+    name = "silent"
+
+    def sample_destination(self, src, rng):
+        return None
+
+    def destination_distribution(self, src):
+        return {}
+
+
+class TestUniformOverSetPattern:
+    @pytest.fixture
+    def pattern(self, torus4):
+        return _TwoTargets(torus4)
+
+    def test_sampling_stays_in_set(self, pattern):
+        rng = random.Random(0)
+        for _ in range(50):
+            assert pattern.sample_destination(5, rng) in (1, 2)
+
+    def test_distribution_matches_set(self, pattern):
+        assert pattern.destination_distribution(5) == {1: 0.5, 2: 0.5}
+        assert pattern.destination_distribution(1) == {2: 1.0}
+
+    def test_weights_derive_from_distribution(self, pattern, torus4):
+        weights = pattern.hop_class_weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert pattern.mean_distance() == pytest.approx(
+            sum(h * w for h, w in weights.items())
+        )
+
+
+class TestDegeneratePatterns:
+    def test_silent_pattern_has_empty_analytics(self, torus4):
+        pattern = _Silent(torus4)
+        assert pattern.hop_class_weights() == {}
+        assert pattern.mean_distance() == 0.0
+
+    def test_weights_are_cached(self, torus4):
+        pattern = _TwoTargets(torus4)
+        first = pattern.hop_class_weights()
+        second = pattern.hop_class_weights()
+        assert first == second
+        first[99] = 1.0  # the returned dict is a copy
+        assert 99 not in pattern.hop_class_weights()
+
+
+class TestRegistry:
+    def test_all_registered_patterns_constructible(self, torus16):
+        for name in available_patterns():
+            pattern = make_traffic(name, torus16)
+            assert pattern.name == name
+
+    def test_unknown_pattern_raises(self, torus4):
+        with pytest.raises(ConfigurationError, match="unknown traffic"):
+            make_traffic("rush-hour", torus4)
+
+    def test_options_forwarded(self, torus16):
+        pattern = make_traffic("local", torus16, radius=2)
+        assert pattern.radius == 2
+
+    def test_bad_option_surfaces(self, torus4):
+        with pytest.raises(TypeError):
+            make_traffic("uniform", torus4, radius=2)

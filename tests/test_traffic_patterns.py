@@ -1,0 +1,135 @@
+"""Unit tests for the traffic patterns (uniform, hotspot, local)."""
+
+import random
+
+import pytest
+
+from repro.traffic.hotspot import HotspotTraffic, default_hotspot_node
+from repro.traffic.local import LocalTraffic
+from repro.traffic.uniform import UniformTraffic
+from repro.util.errors import ConfigurationError
+
+
+class TestUniform:
+    def test_never_self(self, torus4):
+        pattern = UniformTraffic(torus4)
+        rng = random.Random(1)
+        assert all(
+            pattern.sample_destination(5, rng) != 5 for _ in range(200)
+        )
+
+    def test_covers_all_destinations(self, torus4):
+        pattern = UniformTraffic(torus4)
+        rng = random.Random(2)
+        seen = {pattern.sample_destination(0, rng) for _ in range(2000)}
+        assert seen == set(range(1, 16))
+
+    def test_distribution_is_uniform(self, torus4):
+        pattern = UniformTraffic(torus4)
+        dist = pattern.destination_distribution(3)
+        assert 3 not in dist
+        assert len(dist) == 15
+        assert all(p == pytest.approx(1 / 15) for p in dist.values())
+
+    def test_mean_distance_matches_topology_average(self, torus16):
+        pattern = UniformTraffic(torus16)
+        assert pattern.mean_distance() == pytest.approx(
+            torus16.average_distance()
+        )
+
+    def test_paper_hop_class_weights(self, torus16):
+        """Paper footnote 3: w(1) = 0.0157 and w(16) = 0.0039 on 16^2."""
+        weights = UniformTraffic(torus16).hop_class_weights()
+        assert weights[1] == pytest.approx(4 / 255)
+        assert weights[16] == pytest.approx(1 / 255)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+
+class TestHotspot:
+    def test_default_hotspot_is_max_corner(self, torus16):
+        assert default_hotspot_node(torus16) == torus16.node((15, 15))
+
+    def test_paper_probabilities(self, torus16):
+        """Paper: 4% hotspot -> 0.0438 to the hotspot, 0.0038 elsewhere."""
+        pattern = HotspotTraffic(torus16, fraction=0.04)
+        dist = pattern.destination_distribution(0)
+        hotspot = torus16.node((15, 15))
+        assert dist[hotspot] == pytest.approx(0.0438, abs=0.0003)
+        assert dist[1] == pytest.approx(0.00375, abs=0.0002)
+
+    def test_hotspot_receives_11x_traffic(self, torus16):
+        pattern = HotspotTraffic(torus16, fraction=0.04)
+        dist = pattern.destination_distribution(0)
+        hotspot = torus16.node((15, 15))
+        ratio = dist[hotspot] / dist[1]
+        assert ratio == pytest.approx(11.5, rel=0.05)
+
+    def test_sampling_matches_distribution(self, torus4):
+        pattern = HotspotTraffic(torus4, fraction=0.25, hotspots=[15])
+        rng = random.Random(3)
+        draws = [pattern.sample_destination(0, rng) for _ in range(4000)]
+        hot_share = draws.count(15) / len(draws)
+        expected = pattern.destination_distribution(0)[15]
+        assert hot_share == pytest.approx(expected, rel=0.15)
+        assert 0 not in draws
+
+    def test_multiple_hotspots_split_fraction(self, torus4):
+        pattern = HotspotTraffic(torus4, fraction=0.2, hotspots=[5, 10])
+        dist = pattern.destination_distribution(0)
+        assert dist[5] == pytest.approx(dist[10])
+        assert dist[5] > dist[1]
+
+    def test_rejects_invalid_fraction(self, torus4):
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(torus4, fraction=1.5)
+
+    def test_rejects_bad_hotspot_node(self, torus4):
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(torus4, hotspots=[99])
+
+
+class TestLocal:
+    def test_neighbourhood_size_on_paper_network(self, torus16):
+        """7x7 window minus the source: 48 candidate destinations."""
+        pattern = LocalTraffic(torus16, radius=3)
+        assert len(pattern.candidate_destinations(0)) == 48
+
+    def test_mean_distance_is_3_5(self, torus16):
+        pattern = LocalTraffic(torus16, radius=3)
+        assert pattern.mean_distance() == pytest.approx(3.5)
+
+    def test_paper_hop_class_weights(self, torus16):
+        """Paper footnote 3: classes {1,6}: 0.0833, {2,5}: 0.1667,
+        {3,4}: 0.25."""
+        weights = LocalTraffic(torus16, radius=3).hop_class_weights()
+        assert weights[1] == pytest.approx(4 / 48)
+        assert weights[2] == pytest.approx(8 / 48)
+        assert weights[3] == pytest.approx(12 / 48)
+        assert weights[4] == pytest.approx(12 / 48)
+        assert weights[5] == pytest.approx(8 / 48)
+        assert weights[6] == pytest.approx(4 / 48)
+
+    def test_locality_fraction(self, torus16):
+        pattern = LocalTraffic(torus16, radius=3)
+        assert pattern.locality_fraction() == pytest.approx(0.4375)
+
+    def test_wraps_around_torus(self, torus16):
+        pattern = LocalTraffic(torus16, radius=3)
+        neighbourhood = pattern.candidate_destinations(0)
+        assert torus16.node((15, 15)) in neighbourhood
+
+    def test_mesh_corner_has_smaller_neighbourhood(self, mesh4):
+        pattern = LocalTraffic(mesh4, radius=1)
+        assert len(pattern.candidate_destinations(0)) == 3
+
+    def test_rejects_radius_too_large(self, torus4):
+        with pytest.raises(ConfigurationError):
+            LocalTraffic(torus4, radius=2)
+
+    def test_sampling_stays_local(self, torus16):
+        pattern = LocalTraffic(torus16, radius=3)
+        rng = random.Random(4)
+        src = torus16.node((8, 8))
+        for _ in range(300):
+            dst = pattern.sample_destination(src, rng)
+            assert torus16.distance(src, dst) <= 6

@@ -1,0 +1,79 @@
+"""Unit tests for the permutation traffic extensions."""
+
+import random
+
+import pytest
+
+from repro.traffic.permutations import (
+    BitComplementTraffic,
+    BitReversalTraffic,
+    TransposeTraffic,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestTranspose:
+    def test_maps_coordinates_swapped(self, torus4):
+        pattern = TransposeTraffic(torus4)
+        src = torus4.node((1, 3))
+        assert pattern.permute(src) == torus4.node((3, 1))
+
+    def test_diagonal_generates_nothing(self, torus4):
+        pattern = TransposeTraffic(torus4)
+        diagonal = torus4.node((2, 2))
+        rng = random.Random(0)
+        assert pattern.sample_destination(diagonal, rng) is None
+        assert pattern.destination_distribution(diagonal) == {}
+
+    def test_off_diagonal_is_deterministic(self, torus4):
+        pattern = TransposeTraffic(torus4)
+        src = torus4.node((0, 1))
+        rng = random.Random(0)
+        expected = torus4.node((1, 0))
+        assert pattern.sample_destination(src, rng) == expected
+        assert pattern.destination_distribution(src) == {expected: 1.0}
+
+    def test_requires_2d(self, torus4_3d):
+        with pytest.raises(ConfigurationError):
+            TransposeTraffic(torus4_3d)
+
+    def test_mean_distance_positive(self, torus4):
+        assert TransposeTraffic(torus4).mean_distance() > 0
+
+
+class TestBitComplement:
+    def test_complements_coordinates(self, torus4):
+        pattern = BitComplementTraffic(torus4)
+        src = torus4.node((0, 1))
+        assert pattern.permute(src) == torus4.node((3, 2))
+
+    def test_every_source_generates(self, torus4):
+        pattern = BitComplementTraffic(torus4)
+        for src in range(torus4.num_nodes):
+            assert pattern.destination_distribution(src)
+
+    def test_is_an_involution(self, torus4):
+        pattern = BitComplementTraffic(torus4)
+        for src in range(torus4.num_nodes):
+            assert pattern.permute(pattern.permute(src)) == src
+
+
+class TestBitReversal:
+    def test_reverses_id_bits(self, torus4):
+        pattern = BitReversalTraffic(torus4)
+        # 16 nodes -> 4-bit ids; 0b0001 -> 0b1000
+        assert pattern.permute(1) == 8
+
+    def test_requires_power_of_two_nodes(self, torus6):
+        with pytest.raises(ConfigurationError):
+            BitReversalTraffic(torus6)
+
+    def test_is_an_involution(self, torus4):
+        pattern = BitReversalTraffic(torus4)
+        for src in range(torus4.num_nodes):
+            assert pattern.permute(pattern.permute(src)) == src
+
+    def test_palindromic_ids_generate_nothing(self, torus4):
+        pattern = BitReversalTraffic(torus4)
+        rng = random.Random(0)
+        assert pattern.sample_destination(0b1001, rng) is None
