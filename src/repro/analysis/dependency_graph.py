@@ -20,22 +20,13 @@ overload stress tests provide the empirical evidence here.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Set, Tuple
 
 from repro.routing.base import RoutingAlgorithm
+from repro.util.fingerprint import state_fingerprint
 
 #: One virtual channel: (link index, virtual-channel class).
 Resource = Tuple[int, int]
-
-
-def _state_key(state: Any) -> Any:
-    """A hashable fingerprint of a routing-state object."""
-    if state is None or isinstance(state, (int, str, tuple)):
-        return state
-    slots = getattr(type(state), "__slots__", None)
-    if slots is not None:
-        return tuple(getattr(state, name) for name in slots)
-    return tuple(sorted(vars(state).items()))  # pragma: no cover
 
 
 def build_dependency_graph(
@@ -68,10 +59,10 @@ def _walk_pair(
     frontier: List[Tuple[Any, int, Optional[Resource]]] = [
         (initial, src, None)
     ]
-    seen: Set[Tuple[Any, int, Optional[Resource]]] = set()
+    seen: Set[Tuple[Hashable, int, Optional[Resource]]] = set()
     while frontier:
         state, node, held = frontier.pop()
-        marker = (_state_key(state), node, held)
+        marker = (state_fingerprint(state), node, held)
         if marker in seen:
             continue
         seen.add(marker)
@@ -102,7 +93,9 @@ def find_cycle(
     for root in edges:
         if color.get(root, WHITE) != WHITE:
             continue
-        stack: List[Tuple[Resource, iter]] = [(root, iter(edges.get(root, ())))]
+        stack: List[Tuple[Resource, Iterator[Resource]]] = [
+            (root, iter(edges.get(root, ())))
+        ]
         color[root] = GRAY
         parent[root] = None
         while stack:
@@ -111,9 +104,10 @@ def find_cycle(
             for child in children:
                 state = color.get(child, WHITE)
                 if state == GRAY:
-                    # Found a back edge: reconstruct the cycle.
-                    cycle = [child, node]
-                    walker = parent[node]
+                    # Found a back edge: reconstruct the cycle (for a
+                    # self-loop the witness is the single resource).
+                    cycle = [child]
+                    walker: Optional[Resource] = node
                     while walker is not None and walker != child:
                         cycle.append(walker)
                         walker = parent[walker]

@@ -16,11 +16,12 @@
 from __future__ import annotations
 
 import copy
-from typing import Any, List, Set, Tuple
+from typing import Any, Dict, Hashable, List, Set, Tuple
 
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.hop_base import HopClassScheme
 from repro.util.errors import ReproError
+from repro.util.fingerprint import state_fingerprint
 
 
 class InvariantViolation(ReproError):
@@ -83,10 +84,10 @@ def check_candidates_minimal(
     topology = algorithm.topology
     checked = 0
     frontier: List[Tuple[Any, int]] = [(algorithm.new_state(src, dst), src)]
-    seen = set()
+    seen: Set[Tuple[Hashable, int]] = set()
     while frontier:
         state, node = frontier.pop()
-        marker = (_fingerprint(state), node)
+        marker = (state_fingerprint(state), node)
         if marker in seen or node == dst:
             continue
         seen.add(marker)
@@ -144,7 +145,7 @@ def count_minimal_paths(
 ) -> int:
     """Number of distinct minimal node paths in the underlying topology."""
     topology = algorithm.topology
-    memo = {}
+    memo: Dict[int, int] = {}
 
     def recurse(node: int) -> int:
         if node == dst:
@@ -161,15 +162,6 @@ def count_minimal_paths(
         return total
 
     return recurse(src)
-
-
-def _fingerprint(state: Any) -> Any:
-    if state is None or isinstance(state, (int, str, tuple)):
-        return state
-    slots = getattr(type(state), "__slots__", None)
-    if slots is not None:
-        return tuple(getattr(state, name) for name in slots)
-    return tuple(sorted(vars(state).items()))  # pragma: no cover
 
 
 __all__ = [

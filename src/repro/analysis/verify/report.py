@@ -1,0 +1,95 @@
+"""Human-readable rendering of verification runs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.verify.result import CheckResult
+from repro.analysis.verify.runner import VerificationRun
+
+#: Column order of the table.
+_HEADER = ("topology", "algorithm", "check", "status", "time", "detail")
+
+_STATUS_MARK = {
+    "pass": "ok",
+    "skipped": "--",
+    "waived": "WAIVED",
+    "fail": "FAIL",
+    "error": "ERROR",
+}
+
+
+def _rows(results: List[CheckResult], max_detail: int) -> List[tuple]:
+    rows = []
+    for result in results:
+        detail = result.detail.replace("\n", " ")
+        if len(detail) > max_detail:
+            detail = detail[: max_detail - 3] + "..."
+        timing = "cached" if result.cached else f"{result.wall_time:.2f}s"
+        rows.append(
+            (
+                result.topology,
+                result.algorithm,
+                result.check,
+                _STATUS_MARK.get(result.status, result.status),
+                timing,
+                detail,
+            )
+        )
+    return rows
+
+
+def format_table(run: VerificationRun, max_detail: int = 60) -> str:
+    """The full verdict matrix as a fixed-width text table."""
+    rows = _rows(run.results, max_detail)
+    widths = [
+        max(len(_HEADER[column]), *(len(row[column]) for row in rows))
+        if rows
+        else len(_HEADER[column])
+        for column in range(len(_HEADER))
+    ]
+    lines = [
+        "  ".join(
+            title.ljust(widths[column])
+            for column, title in enumerate(_HEADER)
+        ),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[column])
+                for column, cell in enumerate(row)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_summary(run: VerificationRun) -> str:
+    """One-line totals plus any waiver reasons worth surfacing."""
+    summary = run.summary()
+    counts = ", ".join(
+        f"{count} {status}"
+        for status, count in summary.items()
+        if count
+    )
+    lines = [
+        f"{len(run.results)} verdicts over "
+        f"{', '.join(run.topologies)}: {counts or 'none'} "
+        f"({run.wall_time:.2f}s)"
+    ]
+    for result in run.results:
+        if result.status == "waived" and result.waiver:
+            lines.append(
+                f"waived: {result.algorithm}/{result.check} on "
+                f"{result.topology} -- {result.waiver}"
+            )
+        elif result.status in ("fail", "error"):
+            lines.append(
+                f"{result.status.upper()}: {result.algorithm}/"
+                f"{result.check} on {result.topology} -- {result.detail}"
+            )
+    return "\n".join(lines)
+
+
+__all__ = ["format_summary", "format_table"]

@@ -1,0 +1,117 @@
+"""Structured verdicts produced by the verification checks.
+
+One :class:`CheckResult` records the outcome of one (check, algorithm,
+topology) cell of the verification matrix.  Results serialise to plain
+JSON dictionaries so CI can archive them and diff runs, and deserialise
+back so the runner's cache can replay earlier verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: One virtual channel, as named in witnesses: (link index, vc class).
+Witness = List[Tuple[int, int]]
+
+#: Result statuses, in increasing order of severity.
+STATUS_PASS = "pass"
+STATUS_SKIPPED = "skipped"
+STATUS_WAIVED = "waived"
+STATUS_FAIL = "fail"
+STATUS_ERROR = "error"
+
+ALL_STATUSES = (
+    STATUS_PASS,
+    STATUS_SKIPPED,
+    STATUS_WAIVED,
+    STATUS_FAIL,
+    STATUS_ERROR,
+)
+
+
+@dataclass
+class CheckResult:
+    """The verdict of one check on one (algorithm, topology) pair.
+
+    * ``status`` — ``pass``, ``fail``, ``waived`` (the check failed but a
+      registered waiver explains why that is acceptable), ``skipped``
+      (check or algorithm not applicable) or ``error`` (the check itself
+      crashed).
+    * ``witness`` — for cycle checks, the resources along one offending
+      cycle; empty otherwise.
+    * ``counts`` — check-specific work counters (transitions walked,
+      paths enumerated, ...), useful for spotting vacuous passes.
+    """
+
+    check: str
+    algorithm: str
+    topology: str
+    status: str
+    detail: str = ""
+    waiver: Optional[str] = None
+    witness: Witness = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+    wall_time: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True unless the result is an unwaived failure."""
+        return self.status != STATUS_FAIL
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "check": self.check,
+            "algorithm": self.algorithm,
+            "topology": self.topology,
+            "status": self.status,
+            "detail": self.detail,
+            "waiver": self.waiver,
+            "witness": [list(resource) for resource in self.witness],
+            "counts": dict(self.counts),
+            "wall_time": round(self.wall_time, 6),
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CheckResult":
+        return cls(
+            check=data["check"],
+            algorithm=data["algorithm"],
+            topology=data["topology"],
+            status=data["status"],
+            detail=data.get("detail", ""),
+            waiver=data.get("waiver"),
+            witness=[
+                (int(link), int(vc_class))
+                for link, vc_class in data.get("witness", [])
+            ],
+            counts={
+                key: int(value)
+                for key, value in data.get("counts", {}).items()
+            },
+            wall_time=float(data.get("wall_time", 0.0)),
+            cached=bool(data.get("cached", False)),
+        )
+
+
+def summarize(results: List[CheckResult]) -> Dict[str, int]:
+    """Status histogram over *results* (every status key always present)."""
+    summary = {status: 0 for status in ALL_STATUSES}
+    for result in results:
+        summary[result.status] += 1
+    return summary
+
+
+__all__ = [
+    "ALL_STATUSES",
+    "CheckResult",
+    "STATUS_ERROR",
+    "STATUS_FAIL",
+    "STATUS_PASS",
+    "STATUS_SKIPPED",
+    "STATUS_WAIVED",
+    "Witness",
+    "summarize",
+]

@@ -1,0 +1,135 @@
+"""Command-line interface: ``repro-verify``.
+
+Runs the deadlock-freedom / structure check battery over the algorithm
+registry and a matrix of topologies, printing a verdict table and
+optionally writing machine-readable JSON.
+
+Examples::
+
+    repro-verify --all --topology torus:4x4 --json out.json
+    repro-verify --algorithms 2pn,nlast --topology torus:4x4 --topology mesh:4x4
+    repro-verify --all --topology torus:4x4 --fail-on-error   # CI gate
+
+Exit status: 0 when every verdict is pass/skipped/waived; 1 on any
+unwaived failure; with ``--fail-on-error`` also 1 on check errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.verify import (
+    CHECKS,
+    DEFAULT_TOPOLOGIES,
+    format_summary,
+    format_table,
+    run_verification,
+)
+from repro.util.errors import ConfigurationError
+
+#: Default on-disk location of the source-hash result cache.
+DEFAULT_CACHE = ".repro-verify-cache.json"
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description=(
+            "Verify the structural deadlock-freedom claims of every "
+            "registered routing algorithm (see docs/verification.md)."
+        ),
+    )
+    selection = parser.add_mutually_exclusive_group()
+    selection.add_argument(
+        "--all",
+        action="store_true",
+        help="verify every registered algorithm (the default)",
+    )
+    selection.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated algorithm names (x<lanes> suffixes allowed)",
+    )
+    parser.add_argument(
+        "--topology",
+        action="append",
+        default=None,
+        metavar="KIND:RxR",
+        help=(
+            "topology to verify on, e.g. torus:4x4 or mesh:3x3x3; "
+            f"repeatable (default: {', '.join(DEFAULT_TOPOLOGIES)})"
+        ),
+    )
+    parser.add_argument(
+        "--checks",
+        default=None,
+        help=(
+            "comma-separated check names "
+            f"(default: all of {', '.join(CHECKS)})"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the structured verdicts to this JSON file",
+    )
+    parser.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE,
+        metavar="PATH",
+        help=f"result cache file (default: {DEFAULT_CACHE})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the result cache",
+    )
+    parser.add_argument(
+        "--fail-on-error",
+        action="store_true",
+        help="also exit non-zero when a check errors (CI mode)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the summary, not the full table",
+    )
+    return parser.parse_args(argv)
+
+
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    try:
+        run = run_verification(
+            topology_specs=args.topology,
+            algorithms=_split(args.algorithms),
+            checks=_split(args.checks),
+            cache_path=None if args.no_cache else args.cache,
+        )
+    except ConfigurationError as exc:
+        print(f"repro-verify: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(format_table(run))
+        print()
+    print(format_summary(run))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(run.to_dict(), stream, indent=1, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if run.ok(fail_on_error=args.fail_on_error) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

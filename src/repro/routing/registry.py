@@ -7,7 +7,7 @@ algorithms by the paper's short names.
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.bonus_cards import NegativeHopBonusCards
@@ -17,7 +17,7 @@ from repro.routing.north_last import NorthLast
 from repro.routing.positive_hop import PositiveHop
 from repro.routing.two_power_n import TwoPowerN
 from repro.topology.base import Topology
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, RoutingError
 
 _FACTORIES: Dict[str, Callable[[Topology], RoutingAlgorithm]] = {
     ECube.name: ECube,
@@ -66,6 +66,24 @@ def make_algorithm(name: str, topology: Topology) -> RoutingAlgorithm:
     )
 
 
+def iter_algorithms(
+    topology: Topology, names: Optional[List[str]] = None
+) -> Iterator[Tuple[str, Optional[RoutingAlgorithm], Optional[str]]]:
+    """Instantiate every registered algorithm on *topology*, tolerantly.
+
+    Yields ``(name, algorithm, None)`` for every algorithm that can be
+    built on *topology* and ``(name, None, reason)`` for the ones that
+    refuse it (e.g. nlast on a 3-D network, nhop on an odd-radix torus).
+    Used by the verification runner, which must sweep the whole registry
+    without dying on the first inapplicable combination.
+    """
+    for name in names if names is not None else available_algorithms():
+        try:
+            yield name, make_algorithm(name, topology), None
+        except RoutingError as exc:
+            yield name, None, str(exc)
+
+
 def register_algorithm(
     name: str, factory: Callable[[Topology], RoutingAlgorithm]
 ) -> None:
@@ -78,6 +96,7 @@ def register_algorithm(
 __all__ = [
     "ALGORITHM_NAMES",
     "available_algorithms",
+    "iter_algorithms",
     "make_algorithm",
     "register_algorithm",
 ]

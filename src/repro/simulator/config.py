@@ -97,6 +97,12 @@ class SimulationConfig:
     #: Cycles without any flit movement or channel grant (while traffic is
     #: in flight) before the watchdog declares deadlock.
     deadlock_threshold: int = 20000
+    #: Opt-in wait-for-graph sanitizer: record hold->request edges during
+    #: virtual-channel allocation so a watchdog trip reports the actual
+    #: resource cycle and blocked messages instead of a bare
+    #: :class:`~repro.util.errors.DeadlockError`.  Small per-blocked-
+    #: message overhead; off by default for production sweeps.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         require(self.topology in ("torus", "mesh"),

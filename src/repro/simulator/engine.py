@@ -48,6 +48,7 @@ from repro.network.virtual_channel import VirtualChannel
 from repro.routing.base import RoutingAlgorithm
 from repro.simulator.config import SimulationConfig
 from repro.simulator.injection import InjectionController
+from repro.simulator.sanitizer import WaitForGraph
 from repro.stats.counters import SampleRecord
 from repro.topology.base import Topology
 from repro.traffic.arrivals import GeometricArrivals
@@ -121,6 +122,12 @@ class Engine:
         self._ideal = config.flow_control == "ideal"
         self._highest_class_first = config.mux_policy == "highest_class"
         self._route_queue: Deque[Message] = deque()
+        # Opt-in wait-for-graph sanitizer (config.sanitize): tracks what
+        # every blocked message holds and requests so a watchdog trip can
+        # name the deadlock cycle.
+        self.sanitizer: Optional[WaitForGraph] = (
+            WaitForGraph() if config.sanitize else None
+        )
         # Insertion-ordered set of channels with >= 1 reserved VC, so the
         # transmission scan touches only potentially active links and the
         # iteration order is deterministic.
@@ -267,6 +274,7 @@ class Engine:
         queue = self._route_queue
         policy = self.config.selection_policy
         rng = self.rng.stream(STREAM_ROUTING)
+        sanitizer = self.sanitizer
         progressed = False
         for _ in range(len(queue)):
             message = queue.popleft()
@@ -276,8 +284,18 @@ class Engine:
                 message.cached_candidates = candidates
             chosen = self._select(candidates, policy, rng)
             if chosen is None:
+                if sanitizer is not None:
+                    sanitizer.record_blocked(
+                        message,
+                        [
+                            (vc.link.index, vc.vc_class)
+                            for vc, _ in candidates
+                        ],
+                    )
                 queue.append(message)  # retry next cycle, FIFO order kept
                 continue
+            if sanitizer is not None:
+                sanitizer.clear(message.msg_id)
             self._allocate(message, chosen)
             progressed = True
         return progressed
@@ -441,12 +459,20 @@ class Engine:
                 f"msg#{message.msg_id} {message.src}->{message.dst} "
                 f"head at {message.head_node}"
             )
-        raise DeadlockError(
+        summary = (
             f"no progress for {self.config.deadlock_threshold} cycles at "
             f"cycle {self.cycle} with {self.in_flight} messages in flight "
             f"(algorithm={self.algorithm.name}); sample of waiting "
             f"messages: {'; '.join(stuck) or 'none in route queue'}"
         )
+        if self.sanitizer is None:
+            raise DeadlockError(
+                summary
+                + " (run with SimulationConfig.sanitize=True for a "
+                "wait-for-graph diagnosis)"
+            )
+        report = self.sanitizer.build_report()
+        raise DeadlockError(summary + "\n" + report.format(), report=report)
 
     # ------------------------------------------------------------------
     # introspection helpers (used by tests and analysis)

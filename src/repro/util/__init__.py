@@ -1,4 +1,4 @@
-"""Shared utilities: RNG stream management, validation helpers, errors."""
+"""Shared utilities: RNG streams, validation, errors, state fingerprints."""
 
 from repro.util.errors import (
     ConfigurationError,
@@ -7,6 +7,7 @@ from repro.util.errors import (
     RoutingError,
     TopologyError,
 )
+from repro.util.fingerprint import state_fingerprint
 from repro.util.rng import RngStreams
 from repro.util.validation import (
     require,
@@ -26,4 +27,5 @@ __all__ = [
     "require_positive",
     "require_probability",
     "require_type",
+    "state_fingerprint",
 ]

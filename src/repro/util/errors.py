@@ -5,6 +5,8 @@ All exceptions raised deliberately by this library derive from
 swallowing programming mistakes such as :class:`TypeError`.
 """
 
+from typing import Any, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -33,7 +35,16 @@ class DeadlockError(ReproError):
     All six algorithms in the paper are deadlock-free, so this error firing
     during a simulation indicates a bug in an algorithm implementation (or a
     deliberately broken algorithm used in tests to validate the watchdog).
+
+    When the engine runs with ``SimulationConfig.sanitize=True``,
+    :attr:`report` carries the wait-for-graph sanitizer's
+    :class:`~repro.simulator.sanitizer.DeadlockReport` naming the cycle
+    of ``(link, vc_class)`` resources and the blocked messages.
     """
+
+    def __init__(self, message: str, report: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class ConvergenceError(ReproError):

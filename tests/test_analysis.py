@@ -57,7 +57,61 @@ class TestDependencyGraphs:
         assert set(cycle) == {(0, 0), (1, 0), (2, 0)}
 
     def test_self_loop_detected(self):
-        assert find_cycle({(0, 0): {(0, 0)}}) is not None
+        cycle = find_cycle({(0, 0): {(0, 0)}})
+        assert cycle == [(0, 0)]
+
+    def test_disjoint_components(self):
+        """The cycle is found even when it lives in a later component."""
+        graph = {
+            # component 1: an acyclic chain
+            (0, 0): {(1, 0)},
+            (1, 0): {(2, 0)},
+            # component 2: a 2-cycle, unreachable from component 1
+            (10, 1): {(11, 1)},
+            (11, 1): {(10, 1)},
+        }
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert set(cycle) == {(10, 1), (11, 1)}
+        all_acyclic = {
+            (0, 0): {(1, 0)},
+            (5, 0): {(6, 0)},
+            (8, 0): set(),
+        }
+        assert is_acyclic(all_acyclic)
+
+    def test_multiple_back_edges_deterministic_witness(self):
+        """With several cycles present, the witness is deterministic and
+        is a genuine cycle of the graph."""
+        graph = {
+            (0, 0): {(1, 0), (3, 0)},
+            (1, 0): {(2, 0)},
+            (2, 0): {(0, 0)},  # back edge 1
+            (3, 0): {(4, 0)},
+            (4, 0): {(3, 0), (0, 0)},  # back edges 2 and 3
+        }
+        witness = find_cycle(graph)
+        assert witness is not None
+        # A genuine cycle: every consecutive hop (and the wrap-around
+        # closing hop) is an edge of the graph.
+        for position, resource in enumerate(witness):
+            nxt = witness[(position + 1) % len(witness)]
+            assert nxt in graph[resource]
+        # Deterministic: repeated runs over the same graph agree.
+        for _ in range(5):
+            assert find_cycle(graph) == witness
+
+    def test_witness_excludes_tail_before_cycle(self):
+        """A lead-in path to the cycle must not appear in the witness."""
+        graph = {
+            (9, 0): {(0, 0)},  # tail node, not part of the cycle
+            (0, 0): {(1, 0)},
+            (1, 0): {(0, 0)},
+        }
+        witness = find_cycle(graph)
+        assert witness is not None
+        assert (9, 0) not in witness
+        assert set(witness) == {(0, 0), (1, 0)}
 
 
 class TestRankMonotonicity:

@@ -1,0 +1,158 @@
+"""The runtime wait-for-graph sanitizer and its deadlock reports."""
+
+import pytest
+
+from repro.routing.base import RoutingAlgorithm
+from repro.simulator.engine import Engine
+from repro.simulator.sanitizer import DeadlockReport, WaitForGraph
+from repro.topology.torus import Torus
+from repro.util.errors import DeadlockError
+from tests.conftest import tiny_config
+from tests.test_engine_congestion_watchdog import _NeverRoutes
+
+
+class _Clockwise(RoutingAlgorithm):
+    """Deliberately deadlock-prone: always the + link, one VC class.
+
+    On a 1-D torus every message chases the next one clockwise, so under
+    sustained load the ring fills head-to-tail and a genuine hold/wait
+    cycle forms — the textbook wormhole deadlock the dateline scheme
+    exists to prevent.
+    """
+
+    name = "clockwise"
+
+    @property
+    def num_virtual_channels(self):
+        return 1
+
+    def candidates(self, state, current, dst):
+        self._check_not_delivered(current, dst)
+        return [(self.topology.out_link(current, 0, 1), 0)]
+
+
+def _deadlock_report(config, algorithm) -> DeadlockError:
+    engine = Engine(config, algorithm=algorithm)
+    with pytest.raises(DeadlockError, match="no progress") as excinfo:
+        engine.run_cycles(30000)
+    return excinfo.value
+
+
+class TestSanitizedDeadlockReport:
+    def test_cycle_named_with_resources_and_messages(self):
+        config = tiny_config(
+            radix=8,
+            n_dims=1,
+            offered_load=1.0,
+            message_length=8,
+            deadlock_threshold=500,
+            sanitize=True,
+            seed=2,
+        )
+        error = _deadlock_report(config, _Clockwise(Torus(8, 1)))
+        report = error.report
+        assert report is not None
+        # A genuine resource cycle, every resource held by a named message.
+        assert report.cycle is not None and len(report.cycle) >= 2
+        for resource in report.cycle:
+            assert report.holders[resource] in report.cycle_messages()
+        # All clockwise traffic uses vc class 0.
+        assert all(vc_class == 0 for _, vc_class in report.cycle)
+        # The exception text carries the diagnostic.
+        text = str(error)
+        assert "wait-for cycle" in text
+        assert "blocked messages" in text
+        assert "holds" in text and "waits on" in text
+
+    def test_broken_algorithm_reports_blockage_without_cycle(self, torus4):
+        """The watchdog's regression algorithm (_NeverRoutes) starves
+        messages on an empty candidate set: blocked messages are named,
+        but there is no hold/wait cycle to report."""
+        config = tiny_config(
+            offered_load=0.5, deadlock_threshold=300, sanitize=True
+        )
+        error = _deadlock_report(config, _NeverRoutes(torus4))
+        report = error.report
+        assert report is not None
+        assert report.cycle is None
+        assert report.cycle_messages() == []
+        assert len(report.blocked) > 0
+        assert all(entry.requested == [] for entry in report.blocked)
+        assert "no wait-for cycle" in str(error)
+        assert "empty candidate set" in str(error)
+
+    def test_unsanitized_deadlock_has_no_report_but_hints(self, torus4):
+        config = tiny_config(offered_load=0.5, deadlock_threshold=300)
+        error = _deadlock_report(config, _NeverRoutes(torus4))
+        assert error.report is None
+        assert "sanitize=True" in str(error)
+
+    def test_sanitizer_off_by_default(self):
+        engine = Engine(tiny_config())
+        assert engine.sanitizer is None
+
+    def test_sanitized_run_matches_unsanitized_results(self):
+        """The sanitizer observes; it must not perturb the simulation."""
+        plain = Engine(tiny_config(seed=11))
+        sanitized = Engine(tiny_config(seed=11, sanitize=True))
+        plain.run_cycles(1500)
+        sanitized.run_cycles(1500)
+        assert sanitized.delivered_total == plain.delivered_total
+        assert sanitized.flits_moved_total == plain.flits_moved_total
+        assert sanitized.conservation_check()
+
+
+class TestWaitForGraph:
+    class _FakeVc:
+        def __init__(self, link_index, vc_class):
+            self.link = type("L", (), {"index": link_index})()
+            self.vc_class = vc_class
+
+    class _FakeMessage:
+        def __init__(self, msg_id, src, dst, head_node, path):
+            self.msg_id = msg_id
+            self.src = src
+            self.dst = dst
+            self.head_node = head_node
+            self.path = path
+
+    def _blocked(self, graph, msg_id, held, requested):
+        path = [self._FakeVc(link, vc) for link, vc in held]
+        message = self._FakeMessage(msg_id, 0, 1, 2, path)
+        graph.record_blocked(message, requested)
+
+    def test_edges_union_over_held_resources(self):
+        graph = WaitForGraph()
+        self._blocked(graph, 1, [(0, 0), (1, 0)], [(2, 0)])
+        assert graph.edges() == {(0, 0): {(2, 0)}, (1, 0): {(2, 0)}}
+
+    def test_reblocking_replaces_stale_edges(self):
+        graph = WaitForGraph()
+        self._blocked(graph, 1, [(0, 0)], [(1, 0)])
+        self._blocked(graph, 1, [(0, 0)], [(3, 0)])  # tail drained, re-blocked
+        assert graph.edges() == {(0, 0): {(3, 0)}}
+        assert len(graph) == 1
+
+    def test_clear_removes_message(self):
+        graph = WaitForGraph()
+        self._blocked(graph, 1, [(0, 0)], [(1, 0)])
+        graph.clear(1)
+        assert graph.edges() == {}
+        graph.clear(99)  # unknown ids are fine
+
+    def test_report_finds_two_message_cycle(self):
+        graph = WaitForGraph()
+        self._blocked(graph, 1, [(0, 0)], [(1, 0)])
+        self._blocked(graph, 2, [(1, 0)], [(0, 0)])
+        report = graph.build_report()
+        assert report.cycle is not None
+        assert set(report.cycle) == {(0, 0), (1, 0)}
+        assert sorted(report.cycle_messages()) == [1, 2]
+        assert "wait-for cycle of 2 resources" in report.format()
+
+    def test_report_truncates_long_blockage_lists(self):
+        graph = WaitForGraph()
+        for msg_id in range(20):
+            self._blocked(graph, msg_id, [], [(0, 0)])
+        text = graph.build_report().format(max_blocked=4)
+        assert "... and 16 more" in text

@@ -1,0 +1,272 @@
+"""The deadlock-freedom verification framework (repro-verify)."""
+
+import json
+
+import pytest
+
+from repro.analysis.verify import (
+    CHECKS,
+    evaluate,
+    find_waiver,
+    format_summary,
+    format_table,
+    parse_topology,
+    run_verification,
+    verification_code_hash,
+)
+from repro.analysis.verify.result import CheckResult, summarize
+from repro.analysis.verify.runner import INSTANTIATE_CHECK, ResultCache
+from repro.experiments.cli_verify import main as verify_main
+from repro.routing.positive_hop import PositiveHop
+from repro.routing.registry import make_algorithm
+from repro.util.errors import ConfigurationError
+
+
+class TestTopologyParsing:
+    def test_torus_spec(self):
+        label, topology = parse_topology("torus:4x4")
+        assert label == "torus:4x4"
+        assert topology.radix == 4 and topology.n_dims == 2
+        assert any(link.wraps for link in topology.links)
+
+    def test_mesh_3d_spec(self):
+        label, topology = parse_topology("mesh:3x3x3")
+        assert label == "mesh:3x3x3"
+        assert topology.n_dims == 3
+        assert not any(link.wraps for link in topology.links)
+
+    @pytest.mark.parametrize(
+        "bad", ["grid:4x4", "torus", "torus:4x8", "torus:axb", ":4x4"]
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_topology(bad)
+
+
+class TestChecks:
+    def test_registry_has_the_battery(self):
+        assert set(CHECKS) == {
+            "rank_monotonicity",
+            "candidate_minimality",
+            "acyclicity",
+            "vc_provisioning",
+            "adaptivity",
+            "escape_reachability",
+        }
+
+    @pytest.mark.parametrize("name", ["ecube", "nlast", "phop", "nhop", "nbc"])
+    def test_paper_algorithms_pass_acyclicity(self, name, torus4):
+        algorithm = make_algorithm(name, torus4)
+        result = evaluate(CHECKS["acyclicity"], algorithm, "torus:4x4")
+        assert result.status == "pass", result.detail
+
+    def test_2pn_acyclicity_waived_with_witness_on_torus(self, torus4):
+        algorithm = make_algorithm("2pn", torus4)
+        result = evaluate(CHECKS["acyclicity"], algorithm, "torus:4x4")
+        assert result.status == "waived"
+        assert result.waiver is not None and "may-wait" in result.waiver
+        # The witness is a genuine cycle of (link, vc_class) resources.
+        assert len(result.witness) >= 2
+
+    def test_2pn_acyclicity_passes_on_mesh(self, mesh4):
+        algorithm = make_algorithm("2pn", mesh4)
+        result = evaluate(CHECKS["acyclicity"], algorithm, "mesh:4x4")
+        assert result.status == "pass"
+        assert find_waiver("acyclicity", algorithm) is None
+
+    def test_rank_check_skipped_for_non_hop_schemes(self, torus4):
+        algorithm = make_algorithm("ecube", torus4)
+        result = evaluate(
+            CHECKS["rank_monotonicity"], algorithm, "torus:4x4"
+        )
+        assert result.status == "skipped"
+
+    def test_vc_provisioning_catches_wrong_budget(self, torus4):
+        class Overprovisioned(PositiveHop):
+            @property
+            def num_virtual_channels(self):
+                return 99
+
+        result = evaluate(
+            CHECKS["vc_provisioning"], Overprovisioned(torus4), "torus:4x4"
+        )
+        assert result.status == "fail"
+        assert result.counts == {"expected": 5, "actual": 99}
+
+    def test_vc_provisioning_understands_lanes(self, torus4):
+        algorithm = make_algorithm("ecubex2", torus4)
+        result = evaluate(
+            CHECKS["vc_provisioning"], algorithm, "torus:4x4"
+        )
+        assert result.status == "pass"
+        assert result.counts["expected"] == 4
+
+    def test_adaptivity_catches_false_full_adaptivity(self, torus4):
+        class NotReallyFull(PositiveHop):
+            def candidates(self, state, current, dst):
+                return super().candidates(state, current, dst)[:1]
+
+        result = evaluate(
+            CHECKS["adaptivity"], NotReallyFull(torus4), "torus:4x4"
+        )
+        assert result.status == "fail"
+        assert "claims full adaptivity" in result.detail
+
+    def test_escape_check_catches_dead_ends(self, torus4):
+        class DeadEnd(PositiveHop):
+            def candidates(self, state, current, dst):
+                if current == 5:
+                    return []
+                return super().candidates(state, current, dst)
+
+        result = evaluate(
+            CHECKS["escape_reachability"], DeadEnd(torus4), "torus:4x4"
+        )
+        assert result.status == "fail"
+        assert "dead end" in result.detail
+
+
+class TestRunner:
+    def test_full_battery_on_torus(self):
+        run = run_verification(["torus:4x4"])
+        summary = run.summary()
+        assert summary["fail"] == 0 and summary["error"] == 0
+        assert summary["waived"] == 1  # 2pn acyclicity
+        assert run.ok() and run.ok(fail_on_error=True)
+        # Every registered algorithm appears.
+        assert {r.algorithm for r in run.results} >= {
+            "ecube", "nlast", "2pn", "phop", "nhop", "nbc"
+        }
+
+    def test_inapplicable_algorithms_are_skipped(self):
+        # nlast is 2-D only, so it refuses a 3-D torus; nhop is fine there.
+        run = run_verification(
+            ["torus:4x4x4"],
+            algorithms=["nlast", "nhop"],
+            checks=["vc_provisioning"],
+        )
+        instantiate = [
+            r for r in run.results if r.check == INSTANTIATE_CHECK
+        ]
+        assert {r.algorithm for r in instantiate} == {"nlast"}
+        assert all(r.status == "skipped" for r in instantiate)
+        assert run.ok()
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown checks"):
+            run_verification(["torus:4x4"], checks=["nonsense"])
+
+    def test_cache_replays_results(self, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        first = run_verification(
+            ["torus:4x4"], algorithms=["ecube"], cache_path=cache
+        )
+        assert not any(r.cached for r in first.results)
+        second = run_verification(
+            ["torus:4x4"], algorithms=["ecube"], cache_path=cache
+        )
+        assert all(r.cached for r in second.results)
+        assert [r.to_dict()["status"] for r in second.results] == [
+            r.to_dict()["status"] for r in first.results
+        ]
+
+    def test_cache_invalidated_by_code_hash(self, tmp_path):
+        cache_path = str(tmp_path / "cache.json")
+        run_verification(
+            ["torus:4x4"], algorithms=["ecube"], cache_path=cache_path
+        )
+        stale = ResultCache(cache_path, code_hash="something-else")
+        assert (
+            stale.get("torus:4x4", "ecube", "candidate_minimality") is None
+        )
+
+    def test_code_hash_is_stable(self):
+        assert verification_code_hash() == verification_code_hash()
+
+    def test_reports_render(self):
+        run = run_verification(["mesh:4x4"], algorithms=["ecube"])
+        table = format_table(run)
+        assert "ecube" in table and "mesh:4x4" in table
+        summary = format_summary(run)
+        assert "verdicts" in summary
+
+
+class TestResultSerialization:
+    def test_round_trip(self):
+        result = CheckResult(
+            check="acyclicity",
+            algorithm="2pn",
+            topology="torus:4x4",
+            status="waived",
+            detail="cycle found",
+            waiver="documented",
+            witness=[(3, 1), (5, 0)],
+            counts={"resources": 7},
+            wall_time=0.5,
+        )
+        clone = CheckResult.from_dict(result.to_dict())
+        assert clone.witness == [(3, 1), (5, 0)]
+        assert clone.status == "waived" and clone.ok
+
+    def test_summarize_counts_all_statuses(self):
+        results = [
+            CheckResult("c", "a", "t", status)
+            for status in ("pass", "pass", "fail", "waived")
+        ]
+        assert summarize(results) == {
+            "pass": 2,
+            "fail": 1,
+            "waived": 1,
+            "skipped": 0,
+            "error": 0,
+        }
+
+
+class TestCli:
+    def test_acceptance_invocation(self, tmp_path, capsys):
+        """repro-verify --all --topology torus:4x4 --json out.json"""
+        out = tmp_path / "out.json"
+        code = verify_main(
+            [
+                "--all",
+                "--topology",
+                "torus:4x4",
+                "--json",
+                str(out),
+                "--cache",
+                str(tmp_path / "cache.json"),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["summary"]["fail"] == 0
+        waived = [
+            r
+            for r in data["results"]
+            if r["status"] == "waived" and r["algorithm"] == "2pn"
+        ]
+        assert len(waived) == 1
+        assert waived[0]["check"] == "acyclicity"
+        assert len(waived[0]["witness"]) >= 2  # the may-wait cycle
+        assert waived[0]["waiver"]  # ... and its documented waiver
+        captured = capsys.readouterr()
+        assert "WAIVED" in captured.out
+
+    def test_algorithm_subset_and_quiet(self, tmp_path, capsys):
+        code = verify_main(
+            [
+                "--algorithms",
+                "ecube,phop",
+                "--topology",
+                "mesh:4x4",
+                "--quiet",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "verdicts" in captured.out
+
+    def test_bad_topology_is_usage_error(self, capsys):
+        assert verify_main(["--topology", "klein-bottle:4x4"]) == 2
+        assert "repro-verify" in capsys.readouterr().err
