@@ -1,5 +1,6 @@
 """Experiment harness: single points, load sweeps, and paper figures."""
 
+from repro.experiments.parallel import run_points, run_sweep_points
 from repro.experiments.profiles import PROFILES, apply_profile, current_profile
 from repro.experiments.runner import run_point
 from repro.experiments.sweep import run_sweep, sweep_algorithms
@@ -11,7 +12,9 @@ __all__ = [
     "current_profile",
     "format_table",
     "run_point",
+    "run_points",
     "run_sweep",
+    "run_sweep_points",
     "sweep_algorithms",
     "write_csv",
 ]

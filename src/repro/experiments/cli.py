@@ -5,6 +5,7 @@ Examples::
     repro-sweep --figure 3 --profile quick
     repro-sweep --algorithms ecube,nbc --traffic uniform --loads 0.2,0.4,0.6
     repro-sweep --figure 4 --profile scaled --csv fig4.csv
+    repro-sweep --figure 3 --profile paper --jobs 8 --checkpoint fig3.ckpt.json
 """
 
 from __future__ import annotations
@@ -64,6 +65,27 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sweep (default 1 = serial; "
+            "every (algorithm, load) point is independent, so a figure "
+            "scales to however many cores are available)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON file recording each finished point; re-running with "
+            "the same file resumes an interrupted campaign instead of "
+            "restarting it"
+        ),
+    )
+    parser.add_argument(
         "--csv", default=None, help="also write results to this CSV file"
     )
     parser.add_argument(
@@ -81,6 +103,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         else tuple(float(x) for x in args.loads.split(","))
     )
 
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
     if args.figure is not None:
         run, check = _FIGURES[args.figure]
         series = run(
@@ -89,6 +115,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             algorithms=algorithms,
             seed=args.seed,
             verbose=not args.quiet,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
         )
         title = f"Paper figure {args.figure}"
         checks = check(series)
@@ -97,7 +125,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.profile is not None:
             config = apply_profile(config, args.profile)
         series = sweep_algorithms(
-            config, algorithms, loads, verbose=not args.quiet
+            config,
+            algorithms,
+            loads,
+            verbose=not args.quiet,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
         )
         title = f"Custom sweep: {args.traffic} traffic"
         checks = []

@@ -47,10 +47,19 @@ def figure3(
     algorithms: Sequence[str] = ALGORITHM_NAMES,
     seed: int = 1,
     verbose: bool = False,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
 ) -> Series:
     """Uniform traffic of 16-flit worms (paper Figure 3)."""
     config = _base_config(profile, traffic="uniform", seed=seed)
-    return sweep_algorithms(config, algorithms, offered_loads, verbose)
+    return sweep_algorithms(
+        config,
+        algorithms,
+        offered_loads,
+        verbose,
+        jobs=jobs,
+        checkpoint=checkpoint,
+    )
 
 
 def figure4(
@@ -60,6 +69,8 @@ def figure4(
     hotspot_fraction: float = 0.04,
     seed: int = 1,
     verbose: bool = False,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
 ) -> Series:
     """Hotspot traffic, 4% to the max-coordinate node (paper Figure 4)."""
     config = _base_config(
@@ -68,7 +79,14 @@ def figure4(
         traffic_options={"fraction": hotspot_fraction},
         seed=seed,
     )
-    return sweep_algorithms(config, algorithms, offered_loads, verbose)
+    return sweep_algorithms(
+        config,
+        algorithms,
+        offered_loads,
+        verbose,
+        jobs=jobs,
+        checkpoint=checkpoint,
+    )
 
 
 def figure5(
@@ -78,6 +96,8 @@ def figure5(
     radius: int = 3,
     seed: int = 1,
     verbose: bool = False,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
 ) -> Series:
     """Local traffic within a radius-3 neighbourhood (paper Figure 5)."""
     config = _base_config(
@@ -86,7 +106,14 @@ def figure5(
         traffic_options={"radius": radius},
         seed=seed,
     )
-    return sweep_algorithms(config, algorithms, offered_loads, verbose)
+    return sweep_algorithms(
+        config,
+        algorithms,
+        offered_loads,
+        verbose,
+        jobs=jobs,
+        checkpoint=checkpoint,
+    )
 
 
 def vct_comparison(
@@ -95,12 +122,21 @@ def vct_comparison(
     algorithms: Sequence[str] = ("ecube", "2pn", "nbc"),
     seed: int = 1,
     verbose: bool = False,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
 ) -> Series:
     """Virtual cut-through rerun of Section 3.4 (uniform traffic)."""
     config = _base_config(
         profile, traffic="uniform", switching="vct", seed=seed
     )
-    return sweep_algorithms(config, algorithms, offered_loads, verbose)
+    return sweep_algorithms(
+        config,
+        algorithms,
+        offered_loads,
+        verbose,
+        jobs=jobs,
+        checkpoint=checkpoint,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,249 @@
+"""Parallel sweep execution: fan independent points out to worker processes.
+
+Every point of a load sweep — one (algorithm, traffic, offered load, seed)
+combination — is an independent simulation: nothing is shared between
+points except the immutable :class:`~repro.simulator.config.SimulationConfig`
+that describes each one.  This module exploits that by scheduling points
+over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* **Nothing mutable crosses process boundaries.**  Each worker receives a
+  pickled config and builds its own topology, algorithm and traffic
+  pattern from it, exactly as the serial path does per point, so serial
+  and parallel sweeps are bit-identical (the test suite asserts this).
+* **Determinism.**  A point's result is a pure function of its config
+  (the rng streams derive from ``config.seed`` via an explicit integer
+  mix, never from process state), so completion order cannot affect
+  results; they are reassembled in submission order.
+* **Checkpointing.**  With a checkpoint path, every finished point is
+  persisted to a JSON file keyed by the point's identity and guarded by a
+  campaign signature (a hash of the shared config fields).  Re-running an
+  interrupted campaign skips completed points; a checkpoint written by a
+  *different* campaign is ignored rather than trusted.
+* **Ordered progress reporting.**  Progress lines are emitted as points
+  finish, tagged ``[done/total]``, so a long 16x16 campaign is watchable
+  from the terminal.
+
+Worker processes are only worth their startup cost for real campaigns;
+``jobs=1`` (the default everywhere) runs the exact same point list in
+process, through the same checkpoint logic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.runner import run_point
+from repro.simulator.config import SimulationConfig
+from repro.stats.summary import SimulationResult
+
+#: Checkpoint-file schema version (bumped on incompatible layout changes).
+CHECKPOINT_VERSION = 1
+
+#: Config fields that vary between the points of one campaign; everything
+#: else must match for a checkpoint to be reused.
+_POINT_FIELDS = ("algorithm", "offered_load", "seed")
+
+
+def point_key(config: SimulationConfig) -> str:
+    """Stable identity of one sweep point within a campaign."""
+    return (
+        f"{config.algorithm}|{config.traffic}|{config.topology}"
+        f"{config.radix}^{config.n_dims}|{config.switching}"
+        f"|load={config.offered_load:.6g}|seed={config.seed}"
+    )
+
+
+def campaign_signature(config: SimulationConfig) -> str:
+    """Hash of every config field shared by all points of a campaign.
+
+    Two configs that differ only in algorithm / offered load / seed map
+    to the same signature, so one checkpoint file can back a whole
+    figure's (algorithms x loads) grid — while a checkpoint recorded
+    under different sampling schedules, switching modes, etc. is
+    rejected instead of silently reused.
+    """
+    shared = dataclasses.asdict(config)
+    for name in _POINT_FIELDS:
+        shared.pop(name, None)
+    blob = json.dumps(shared, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class SweepCheckpoint:
+    """Per-point result store backing resumable sweep campaigns."""
+
+    def __init__(self, path: str, signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self._results: Dict[str, SimulationResult] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path) as stream:
+                data = json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            return  # unreadable/corrupt checkpoint: start fresh
+        if (
+            data.get("version") != CHECKPOINT_VERSION
+            or data.get("signature") != self.signature
+        ):
+            return  # different campaign (or schema): do not trust it
+        for key, payload in data.get("points", {}).items():
+            self._results[key] = SimulationResult.from_json_dict(payload)
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        return self._results.get(key)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def record(self, key: str, result: SimulationResult) -> None:
+        """Persist one finished point (atomic rewrite of the file)."""
+        self._results[key] = result
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "signature": self.signature,
+            "points": {
+                k: r.to_json_dict() for k, r in self._results.items()
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".sweep-checkpoint-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+
+def _run_point_worker(config: SimulationConfig) -> SimulationResult:
+    """Worker entry: build everything from the config, run to convergence.
+
+    Top-level (picklable) on purpose.  The worker shares nothing with the
+    parent: topology, algorithm, traffic and rng streams are all built
+    from the pickled config inside :func:`run_point`.
+    """
+    return run_point(config)
+
+
+def run_points(
+    configs: Sequence[SimulationConfig],
+    jobs: int = 1,
+    checkpoint_path: Optional[str] = None,
+    verbose: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[SimulationResult]:
+    """Run every config, fanning out to *jobs* worker processes.
+
+    Results come back in the order of *configs* regardless of completion
+    order.  With a checkpoint path, previously completed points are
+    skipped and new completions are persisted as they land.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if progress is None:
+        def progress(line: str) -> None:
+            if verbose:
+                print(line, file=sys.stderr)
+
+    checkpoint: Optional[SweepCheckpoint] = None
+    if checkpoint_path is not None:
+        signature = (
+            campaign_signature(configs[0]) if configs else "empty"
+        )
+        checkpoint = SweepCheckpoint(checkpoint_path, signature)
+
+    total = len(configs)
+    results: List[Optional[SimulationResult]] = [None] * total
+    pending: List[int] = []
+    for index, config in enumerate(configs):
+        cached = (
+            checkpoint.get(point_key(config)) if checkpoint else None
+        )
+        if cached is not None:
+            results[index] = cached
+            progress(f"  [skip] {config.label()} (checkpointed)")
+        else:
+            pending.append(index)
+
+    done = total - len(pending)
+
+    def finish(index: int, result: SimulationResult) -> None:
+        nonlocal done
+        results[index] = result
+        if checkpoint is not None:
+            checkpoint.record(point_key(configs[index]), result)
+        done += 1
+        progress(f"  [{done}/{total}] {result}")
+
+    if jobs == 1 or len(pending) <= 1:
+        for index in pending:
+            finish(index, _run_point_worker(configs[index]))
+    else:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_point_worker, configs[index]): index
+                for index in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    # .result() re-raises worker exceptions here, after
+                    # already-finished siblings have been checkpointed.
+                    finish(futures[future], future.result())
+
+    return [result for result in results if result is not None]
+
+
+def run_sweep_points(
+    base_config: SimulationConfig,
+    algorithms: Sequence[str],
+    offered_loads: Sequence[float],
+    seeds: Optional[Sequence[int]] = None,
+) -> List[SimulationConfig]:
+    """The full (algorithm x load [x seed]) point grid of one campaign."""
+    seed_list: Iterable[int] = (
+        seeds if seeds is not None else (base_config.seed,)
+    )
+    return [
+        dataclasses.replace(
+            base_config,
+            algorithm=algorithm,
+            offered_load=load,
+            seed=seed,
+        )
+        for algorithm in algorithms
+        for load in offered_loads
+        for seed in seed_list
+    ]
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "SweepCheckpoint",
+    "campaign_signature",
+    "point_key",
+    "run_points",
+    "run_sweep_points",
+]

@@ -1,12 +1,29 @@
-"""Load sweeps: the x-axis of every figure in the paper."""
+"""Load sweeps: the x-axis of every figure in the paper.
+
+Every sweep point is run from a fresh, fully self-contained
+:class:`~repro.simulator.config.SimulationConfig`: the topology, routing
+algorithm and traffic pattern are rebuilt per point rather than shared
+across the sweep.  (Earlier versions shared one algorithm/traffic
+instance across all engines of a sweep; although the shipped objects are
+stateless after construction — traffic patterns only memoize
+deterministic analytics, algorithms keep per-message state on the
+messages themselves — sharing made the serial path's semantics subtly
+different *in principle* from any parallel execution.  Rebuilding per
+point makes the serial path and the process-pool path of
+:mod:`repro.experiments.parallel` identical by construction, which the
+test suite pins down bit-for-bit.)
+
+``jobs`` fans the independent points of a sweep out to worker processes;
+``checkpoint`` persists per-point results to a JSON file so interrupted
+campaigns (e.g. a full-ladder 16x16 figure) resume instead of restarting.
+"""
 
 from __future__ import annotations
 
-import dataclasses
 import sys
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.experiments.runner import run_point
+from repro.experiments.parallel import run_points, run_sweep_points
 from repro.simulator.config import SimulationConfig
 from repro.stats.summary import SimulationResult
 
@@ -18,19 +35,19 @@ def run_sweep(
     base_config: SimulationConfig,
     offered_loads: Sequence[float] = PAPER_LOADS,
     verbose: bool = False,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
 ) -> List[SimulationResult]:
-    """Run *base_config* at each offered load, sharing the built objects."""
-    topology = base_config.build_topology()
-    algorithm = base_config.build_algorithm(topology)
-    traffic = base_config.build_traffic(topology)
-    results = []
-    for load in offered_loads:
-        config = dataclasses.replace(base_config, offered_load=load)
-        result = run_point(config, topology, algorithm, traffic)
-        results.append(result)
-        if verbose:
-            print(f"  {result}", file=sys.stderr)
-    return results
+    """Run *base_config* at each offered load (one algorithm's curve)."""
+    configs = run_sweep_points(
+        base_config, [base_config.algorithm], offered_loads
+    )
+    return run_points(
+        configs,
+        jobs=jobs,
+        checkpoint_path=checkpoint,
+        verbose=verbose,
+    )
 
 
 def sweep_algorithms(
@@ -38,15 +55,34 @@ def sweep_algorithms(
     algorithms: Iterable[str],
     offered_loads: Sequence[float] = PAPER_LOADS,
     verbose: bool = False,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
 ) -> Dict[str, List[SimulationResult]]:
-    """One load sweep per algorithm — the data behind one paper figure."""
-    series: Dict[str, List[SimulationResult]] = {}
-    for name in algorithms:
-        if verbose:
-            print(f"sweeping {name} ...", file=sys.stderr)
-        config = dataclasses.replace(base_config, algorithm=name)
-        series[name] = run_sweep(config, offered_loads, verbose=verbose)
-    return series
+    """One load sweep per algorithm — the data behind one paper figure.
+
+    All (algorithm x load) points are scheduled in a single pool so the
+    slow algorithms and the fast ones share the workers evenly.
+    """
+    names = list(algorithms)
+    loads = list(offered_loads)
+    if verbose and jobs > 1:
+        print(
+            f"sweeping {len(names)} algorithms x {len(loads)} loads "
+            f"on {jobs} workers ...",
+            file=sys.stderr,
+        )
+    configs = run_sweep_points(base_config, names, loads)
+    results = run_points(
+        configs,
+        jobs=jobs,
+        checkpoint_path=checkpoint,
+        verbose=verbose,
+    )
+    per_algorithm = len(results) // len(names) if names else 0
+    return {
+        name: results[i * per_algorithm: (i + 1) * per_algorithm]
+        for i, name in enumerate(names)
+    }
 
 
 def peak_throughput(results: Sequence[SimulationResult]) -> float:

@@ -6,14 +6,48 @@ cycle (``f_t = 1``).  Each cycle a physical channel may move at most one
 flit, chosen round-robin among the virtual channels that are *ready*:
 reserved, with a settled flit available upstream (present since the start
 of the cycle) and a buffer slot that was free at the start of the cycle.
+
+``transmit`` is the single hottest function of the whole simulator (it
+runs once per active link per fixpoint pass per cycle), so its scan is
+written against precomputed index orders — one tuple per round-robin
+start position, shared across all channels with the same virtual-channel
+count — and the successful flit transfer is inlined rather than routed
+through :meth:`VirtualChannel.receive_flit`.  The semantics are
+bit-identical to the straightforward version (the test suite pins the
+engine's flit schedule against golden traces).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.network.virtual_channel import VirtualChannel
 from repro.topology.base import Link
+
+#: Per-VC-count caches of scan orders, shared by every channel: for count
+#: k, ``_RR_ORDERS[k][s]`` is the round-robin visit order starting at s,
+#: and ``_PRIORITY_ORDERS[k]`` the strict highest-class-first order.
+_RR_ORDERS: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+_PRIORITY_ORDERS: Dict[int, Tuple[int, ...]] = {}
+
+
+def _scan_orders(count: int) -> Tuple[Tuple[int, ...], ...]:
+    orders = _RR_ORDERS.get(count)
+    if orders is None:
+        orders = tuple(
+            tuple(range(start, count)) + tuple(range(start))
+            for start in range(count)
+        )
+        _RR_ORDERS[count] = orders
+    return orders
+
+
+def _priority_order(count: int) -> Tuple[int, ...]:
+    order = _PRIORITY_ORDERS.get(count)
+    if order is None:
+        order = tuple(range(count - 1, -1, -1))
+        _PRIORITY_ORDERS[count] = order
+    return order
 
 
 class PhysicalChannel:
@@ -23,9 +57,12 @@ class PhysicalChannel:
         "link",
         "vcs",
         "_rr_next",
+        "_rr_orders",
+        "_prio_order",
         "owned_count",
         "flits_moved",
         "last_transmit_cycle",
+        "retry_hint",
     )
 
     def __init__(self, link: Link, num_vcs: int, vc_capacity: int) -> None:
@@ -35,12 +72,21 @@ class PhysicalChannel:
             for vc_class in range(num_vcs)
         ]
         self._rr_next = 0  # round-robin scan start
+        self._rr_orders = _scan_orders(num_vcs)
+        self._prio_order = _priority_order(num_vcs)
         #: Virtual channels currently reserved (drives the active-link set).
         self.owned_count = 0
         #: Lifetime flits moved, for channel-utilization measurement.
         self.flits_moved = 0
         #: Enforces the one-flit-per-cycle bandwidth across retry passes.
         self.last_transmit_cycle = -1
+        #: Set by a failed transmit: True when some virtual channel was
+        #: blocked *only* on buffer space (or SAF packet assembly) — the
+        #: two conditions that can still change later in the same cycle.
+        #: The engine's ideal-flow-control fixpoint re-polls only channels
+        #: with this hint; all other failures are final for the cycle
+        #: because settled-flit counts never increase mid-cycle.
+        self.retry_hint = False
 
     def vc(self, vc_class: int) -> VirtualChannel:
         return self.vcs[vc_class]
@@ -78,19 +124,24 @@ class PhysicalChannel:
         if self.last_transmit_cycle == cycle:
             return None
         vcs = self.vcs
-        count = len(vcs)
-        start = count - 1 if highest_class_first else self._rr_next
-        for offset in range(count):
-            vc = vcs[(start - offset) if highest_class_first
-                     else (start + offset) % count]
+        order = (
+            self._prio_order
+            if highest_class_first
+            else self._rr_orders[self._rr_next]
+        )
+        retry_hint = False
+        for idx in order:
+            vc = vcs[idx]
             owner = vc.owner
             if owner is None or vc.flits_in >= owner.length:
                 # Free, or the whole worm already passed through: once the
                 # tail is in, vc.upstream may be reused by another message,
                 # so this guard must come before any upstream access.
                 continue
+            occupancy = vc.occupancy
             if ideal:
-                if vc.occupancy >= vc.capacity:
+                if occupancy >= vc.capacity:
+                    retry_hint = True  # space may free later this cycle
                     continue
             elif not vc.had_space(cycle):
                 continue
@@ -98,17 +149,36 @@ class PhysicalChannel:
             if upstream is None:
                 if owner.flits_to_inject <= 0:
                     continue
+                owner.flits_to_inject -= 1
             else:
-                if upstream.settled_flits(cycle) <= 0:
+                # settled_flits(cycle) <= 0, inlined.
+                if (
+                    upstream.occupancy
+                    - (upstream.last_arrival_cycle == cycle)
+                    <= 0
+                ):
                     continue
-                if store_and_forward and upstream.flits_in < owner.length:
+                if (
+                    store_and_forward
+                    and upstream.flits_in < owner.length
+                ):
+                    retry_hint = True  # packet may finish assembling
                     continue
-            vc.receive_flit(cycle)
+                upstream.occupancy -= 1
+                upstream.flits_out += 1
+                upstream.last_departure_cycle = cycle
+            # receive_flit(cycle), inlined (minus the upstream half above).
+            vc.occupancy = occupancy + 1
+            vc.flits_in += 1
+            vc.last_arrival_cycle = cycle
+            vc.flits_carried_total += 1
             self.flits_moved += 1
             self.last_transmit_cycle = cycle
             if not highest_class_first:
-                self._rr_next = (start + offset + 1) % count
+                next_idx = idx + 1
+                self._rr_next = 0 if next_idx == len(vcs) else next_idx
             return vc
+        self.retry_hint = retry_hint
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -134,6 +134,16 @@ class Engine:
         self._active_channels: Dict[PhysicalChannel, None] = {}
         self._delivering: List[VirtualChannel] = []
         self._last_progress = 0
+        # Hot-path caches: the channel array (so _release and
+        # _compute_candidates skip two attribute hops) and the named rng
+        # streams (so per-cycle phases skip the stream-dictionary lookup;
+        # refreshed by _refresh_streams whenever the epoch advances).
+        self._channels = self.fabric.channels
+        # Reusable scratch lists for _select, so the per-allocation cost
+        # of the free/best candidate filters is paid once per engine.
+        self._free_scratch: List[_Candidate] = []
+        self._best_scratch: List[_Candidate] = []
+        self._refresh_streams()
 
         # lifetime counters
         self.flits_moved_total = 0
@@ -174,14 +184,37 @@ class Engine:
         self.cycle += 1
 
     def run_cycles(self, cycles: int) -> None:
-        """Advance the simulation by *cycles* cycles."""
-        for _ in range(cycles):
-            self.step()
+        """Advance the simulation by *cycles* cycles.
+
+        Idle-cycle fast-forward: while nothing is in flight, a cycle's
+        four phases reduce to a no-op arrival poll, so the clock jumps
+        straight to the next scheduled arrival instead of stepping through
+        empty cycles one by one.  This is bit-identical to stepping (the
+        skipped cycles touch neither state nor any rng stream) and makes
+        low-load and drain phases effectively free.
+        """
+        end = self.cycle + cycles
+        step = self.step
+        while self.cycle < end:
+            if self.in_flight == 0 and self._trace_events is None:
+                next_due = self.arrivals.next_due
+                if next_due > self.cycle:
+                    self.cycle = next_due if next_due < end else end
+                    if self.cycle == end:
+                        return
+            step()
 
     def advance_streams(self) -> None:
         """Switch to fresh random streams (between sampling periods)."""
         self.rng.advance_epoch()
-        self.arrivals.reseed(self.cycle, self.rng.stream(STREAM_ARRIVALS))
+        self._refresh_streams()
+        self.arrivals.reseed(self.cycle, self._rng_arrivals)
+
+    def _refresh_streams(self) -> None:
+        """Re-cache the named rng streams for the current epoch."""
+        self._rng_arrivals = self.rng.stream(STREAM_ARRIVALS)
+        self._rng_destinations = self.rng.stream(STREAM_DESTINATIONS)
+        self._rng_routing = self.rng.stream(STREAM_ROUTING)
 
     # -- sampling --------------------------------------------------------
 
@@ -214,11 +247,10 @@ class Engine:
         if self._trace_events is not None:
             self._generate_trace_arrivals()
             return
-        rng_arrivals = self.rng.stream(STREAM_ARRIVALS)
-        due = self.arrivals.pop_due(self.cycle, rng_arrivals)
-        if not due:
-            return
-        rng_dest = self.rng.stream(STREAM_DESTINATIONS)
+        if self.arrivals.next_due > self.cycle:
+            return  # cheap peek: no heap traffic on arrival-free cycles
+        due = self.arrivals.pop_due(self.cycle, self._rng_arrivals)
+        rng_dest = self._rng_destinations
         for node in due:
             self._generate(node, rng_dest)
 
@@ -273,7 +305,7 @@ class Engine:
     def _route(self) -> bool:
         queue = self._route_queue
         policy = self.config.selection_policy
-        rng = self.rng.stream(STREAM_ROUTING)
+        rng = self._rng_routing
         sanitizer = self.sanitizer
         progressed = False
         for _ in range(len(queue)):
@@ -304,15 +336,15 @@ class Engine:
         choices = self.algorithm.candidates(
             message.route_state, message.head_node, message.dst
         )
-        channels = self.fabric.channels
+        channels = self._channels
         resolved: List[_Candidate] = []
         for link, vc_class in choices:
             channel = channels[link.index]
             resolved.append((channel.vcs[vc_class], channel))
         return resolved
 
-    @staticmethod
     def _select(
+        self,
         candidates: List[_Candidate],
         policy: str,
         rng: random.Random,
@@ -320,7 +352,14 @@ class Engine:
         if len(candidates) == 1:
             entry = candidates[0]
             return entry if entry[0].owner is None else None
-        free = [entry for entry in candidates if entry[0].owner is None]
+        # The free/best filters reuse per-engine scratch lists: _route can
+        # run this thousands of times per cycle under load, and the two
+        # throwaway list allocations were visible in profiles.
+        free = self._free_scratch
+        free.clear()
+        for entry in candidates:
+            if entry[0].owner is None:
+                free.append(entry)
         if not free:
             return None
         if len(free) == 1 or policy == "first":
@@ -330,8 +369,17 @@ class Engine:
         # least_multiplexed: fewest already-reserved VCs on the physical
         # channel — the "least congested" local choice the paper ascribes
         # to adaptive routers; ties broken randomly.
-        best_load = min(entry[1].owned_count for entry in free)
-        best = [entry for entry in free if entry[1].owned_count == best_load]
+        best = self._best_scratch
+        best.clear()
+        best_load = free[0][1].owned_count
+        for entry in free:
+            load = entry[1].owned_count
+            if load < best_load:
+                best_load = load
+                best.clear()
+                best.append(entry)
+            elif load == best_load:
+                best.append(entry)
         if len(best) == 1:
             return best[0]
         return best[rng.randrange(len(best))]
@@ -359,6 +407,7 @@ class Engine:
         priority = self._highest_class_first
         cycle = self.cycle
         moved = 0
+        handle_arrival = self._handle_flit_arrival
         pending = list(self._active_channels)
         while pending:
             retry: List[PhysicalChannel] = []
@@ -366,12 +415,16 @@ class Engine:
             for channel in pending:
                 vc = channel.transmit(cycle, saf, ideal, priority)
                 if vc is None:
-                    if ideal and channel.last_transmit_cycle != cycle:
+                    # Re-poll only channels blocked on a condition that
+                    # can still change this cycle (buffer space / SAF
+                    # assembly); every other failure is final, so the
+                    # fixpoint converges in far fewer passes.
+                    if ideal and channel.retry_hint:
                         retry.append(channel)
                     continue
                 progress = True
                 moved += 1
-                self._handle_flit_arrival(vc)
+                handle_arrival(vc)
             if not ideal or not progress:
                 break
             # Ideal flow control: slots freed this pass may unblock
@@ -399,7 +452,8 @@ class Engine:
                 self.controller.injection_complete(
                     owner.src, owner.msg_class
                 )
-        elif upstream.drained:
+        elif upstream.occupancy == 0 and upstream.flits_out >= owner.length:
+            # upstream.drained, inlined (this runs once per flit moved).
             self._release(upstream, owner)
 
     # ------------------------------------------------------------------
@@ -414,8 +468,9 @@ class Engine:
             owner = vc.owner
             # Only flits present since the start of the cycle are consumed,
             # giving the paper's exact zero-load latency m_l + d - 1.
-            flits = vc.settled_flits(cycle)
-            if flits:
+            # (settled_flits(cycle), inlined.)
+            flits = vc.occupancy - (vc.last_arrival_cycle == cycle)
+            if flits > 0:
                 vc.occupancy -= flits
                 vc.flits_out += flits
                 owner.flits_ejected += flits
@@ -447,7 +502,7 @@ class Engine:
         assert owner.path[0] is vc, "releasing out of tail order"
         owner.path.popleft()
         vc.release()
-        channel = self.fabric.channels[vc.link.index]
+        channel = self._channels[vc.link.index]
         channel.owned_count -= 1
         if channel.owned_count == 0:
             self._active_channels.pop(channel, None)

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -75,6 +75,33 @@ class SimulationResult:
             "messages_refused": self.messages_refused,
             "refusal_rate": self.refusal_rate,
         }
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Lossless dict for JSON persistence (sweep checkpoints).
+
+        Unlike :meth:`to_dict` (a flat CSV row), this captures *every*
+        field so a result written to a checkpoint file deserializes back
+        to an equal :class:`SimulationResult`.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_json_dict` output.
+
+        JSON turns the int keys of ``latency_percentiles`` and
+        ``hop_class_latency`` into strings; they are converted back here
+        so the round-trip is exact.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        for int_keyed in ("latency_percentiles", "hop_class_latency"):
+            mapping = kwargs.get(int_keyed)
+            if mapping:
+                kwargs[int_keyed] = {
+                    int(key): value for key, value in mapping.items()
+                }
+        return cls(**kwargs)
 
     def __str__(self) -> str:
         status = "converged" if self.converged else "NOT converged"

@@ -28,10 +28,16 @@ class GeometricArrivals:
     cycle (messages per node per cycle).
     """
 
+    __slots__ = ("num_nodes", "rate", "next_due", "_heap", "_started")
+
     def __init__(self, num_nodes: int, rate: float) -> None:
         require_probability(rate, "rate")
         self.num_nodes = num_nodes
         self.rate = rate
+        #: Cycle of the earliest pending arrival — a cheap peek the engine
+        #: reads every cycle (and the idle fast-forward jumps to) without
+        #: touching the heap.
+        self.next_due = _NEVER
         self._heap: List[Tuple[int, int]] = []  # (due_cycle, node)
         self._started = False
 
@@ -43,6 +49,7 @@ class GeometricArrivals:
             for node in range(self.num_nodes)
         ]
         heapq.heapify(self._heap)
+        self.next_due = self._heap[0][0] if self._heap else _NEVER
 
     def _gap(self, rng: random.Random) -> int:
         """One geometric interarrival gap (support 1, 2, 3, ...)."""
@@ -67,6 +74,7 @@ class GeometricArrivals:
             _, node = heapq.heappop(heap)
             due.append(node)
             heapq.heappush(heap, (now + self._gap(rng), node))
+        self.next_due = heap[0][0] if heap else _NEVER
         return due
 
     def reseed(self, now: int, rng: random.Random) -> None:
@@ -79,6 +87,7 @@ class GeometricArrivals:
             (now + self._gap(rng), node) for _, node in self._heap
         ]
         heapq.heapify(self._heap)
+        self.next_due = self._heap[0][0] if self._heap else _NEVER
 
 
 __all__ = ["GeometricArrivals"]

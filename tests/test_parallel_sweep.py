@@ -1,0 +1,205 @@
+"""Tests for the parallel sweep scheduler and checkpoint resume.
+
+The contract of :mod:`repro.experiments.parallel`:
+
+* a parallel sweep (``jobs > 1``, real worker processes) returns
+  **bit-identical** :class:`SimulationResult`s to the serial path for the
+  same seeds — all six algorithms on a small torus;
+* a checkpoint file makes re-running a campaign skip completed points,
+  while a checkpoint from a *different* campaign is rejected;
+* results survive the JSON roundtrip used by the checkpoint file.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.parallel import (
+    CHECKPOINT_VERSION,
+    campaign_signature,
+    point_key,
+    run_points,
+    run_sweep_points,
+)
+from repro.experiments.runner import run_point
+from repro.experiments.sweep import run_sweep, sweep_algorithms
+from repro.routing.registry import ALGORITHM_NAMES
+from repro.stats.summary import SimulationResult
+from tests.conftest import tiny_config
+
+
+class TestSerialParallelIdentity:
+    def test_all_algorithms_bit_identical(self):
+        """jobs=2 with real worker processes == the serial path, exactly."""
+        base = tiny_config(seed=5)
+        configs = run_sweep_points(base, ALGORITHM_NAMES, (0.3,))
+        assert len(configs) == 6
+        serial = run_points(configs, jobs=1)
+        parallel = run_points(configs, jobs=2)
+        assert serial == parallel  # full dataclass equality, every field
+
+    def test_matches_single_point_runs(self):
+        configs = run_sweep_points(tiny_config(seed=9), ["nbc"], (0.2, 0.5))
+        pooled = run_points(configs, jobs=2)
+        direct = [run_point(config) for config in configs]
+        assert pooled == direct
+
+    def test_results_in_submission_order(self):
+        configs = run_sweep_points(
+            tiny_config(seed=2), ["ecube", "phop"], (0.2, 0.4)
+        )
+        results = run_points(configs, jobs=2)
+        assert [(r.algorithm, r.offered_load) for r in results] == [
+            ("ecube", 0.2),
+            ("ecube", 0.4),
+            ("phop", 0.2),
+            ("phop", 0.4),
+        ]
+
+    def test_sweep_helpers_expose_jobs(self):
+        base = tiny_config(seed=3)
+        assert run_sweep(base, (0.2, 0.4), jobs=2) == run_sweep(
+            base, (0.2, 0.4)
+        )
+        series = sweep_algorithms(base, ["ecube", "nbc"], (0.3,), jobs=2)
+        assert series == sweep_algorithms(base, ["ecube", "nbc"], (0.3,))
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_points([tiny_config()], jobs=0)
+
+
+class TestCheckpointResume:
+    def _configs(self):
+        return run_sweep_points(tiny_config(seed=6), ["ecube"], (0.2, 0.4))
+
+    def test_resume_skips_completed_points(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "sweep.ckpt.json")
+        configs = self._configs()
+        first = run_points(configs, checkpoint_path=path)
+
+        def boom(config):
+            raise AssertionError(f"re-ran checkpointed point {config.label()}")
+
+        monkeypatch.setattr(
+            "repro.experiments.parallel._run_point_worker", boom
+        )
+        lines = []
+        resumed = run_points(
+            configs, checkpoint_path=path, progress=lines.append
+        )
+        assert resumed == first
+        assert len(lines) == len(configs)
+        assert all("[skip]" in line for line in lines)
+
+    def test_partial_checkpoint_runs_only_missing_points(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "sweep.ckpt.json")
+        configs = self._configs()
+        run_points(configs[:1], checkpoint_path=path)
+
+        ran = []
+        real_worker = run_point
+
+        def counting(config):
+            ran.append(point_key(config))
+            return real_worker(config)
+
+        monkeypatch.setattr(
+            "repro.experiments.parallel._run_point_worker", counting
+        )
+        results = run_points(configs, checkpoint_path=path)
+        assert ran == [point_key(configs[1])]
+        assert len(results) == 2
+
+    def test_foreign_campaign_checkpoint_is_rejected(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "sweep.ckpt.json")
+        configs = self._configs()
+        run_points(configs, checkpoint_path=path)
+
+        # Same point identities, different campaign (sampling schedule).
+        other = [
+            dataclasses.replace(c, sample_cycles=c.sample_cycles + 100)
+            for c in configs
+        ]
+        ran = []
+
+        def counting(config):
+            ran.append(point_key(config))
+            return run_point(config)
+
+        monkeypatch.setattr(
+            "repro.experiments.parallel._run_point_worker", counting
+        )
+        run_points(other, checkpoint_path=path)
+        assert len(ran) == len(other)  # nothing was trusted from the file
+
+    def test_corrupt_checkpoint_is_ignored(self, tmp_path):
+        path = tmp_path / "sweep.ckpt.json"
+        path.write_text("{not json")
+        configs = self._configs()[:1]
+        results = run_points(configs, checkpoint_path=str(path))
+        assert len(results) == 1
+        # ... and the corrupt file was replaced by a valid one.
+        data = json.loads(path.read_text())
+        assert data["version"] == CHECKPOINT_VERSION
+        assert len(data["points"]) == 1
+
+    def test_checkpoint_file_layout(self, tmp_path):
+        path = tmp_path / "sweep.ckpt.json"
+        configs = self._configs()
+        run_points(configs, checkpoint_path=str(path))
+        data = json.loads(path.read_text())
+        assert data["signature"] == campaign_signature(configs[0])
+        assert set(data["points"]) == {point_key(c) for c in configs}
+
+    def test_progress_reports_completion_counts(self, tmp_path):
+        lines = []
+        run_points(self._configs(), progress=lines.append)
+        assert "[1/2]" in lines[0] and "[2/2]" in lines[1]
+
+
+class TestPointIdentity:
+    def test_point_keys_distinct_across_grid(self):
+        configs = run_sweep_points(
+            tiny_config(), ["ecube", "nbc"], (0.2, 0.4), seeds=(1, 2)
+        )
+        keys = {point_key(c) for c in configs}
+        assert len(keys) == len(configs) == 8
+
+    def test_signature_ignores_point_fields(self):
+        a = tiny_config(algorithm="ecube", offered_load=0.2, seed=1)
+        b = tiny_config(algorithm="nbc", offered_load=0.8, seed=99)
+        assert campaign_signature(a) == campaign_signature(b)
+
+    def test_signature_sees_shared_fields(self):
+        a = tiny_config()
+        b = tiny_config(switching="vct", vc_buffer_depth=4)
+        assert campaign_signature(a) != campaign_signature(b)
+
+
+class TestResultJsonRoundtrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_point(tiny_config(offered_load=0.3, seed=4))
+
+    def test_roundtrip_is_identity(self, result):
+        payload = result.to_json_dict()
+        json.dumps(payload)  # must be JSON-serializable as-is
+        assert SimulationResult.from_json_dict(payload) == result
+
+    def test_int_keyed_maps_survive_json(self, result):
+        # JSON stringifies dict keys; from_json_dict must restore ints.
+        wire = json.loads(json.dumps(result.to_json_dict()))
+        back = SimulationResult.from_json_dict(wire)
+        assert back.latency_percentiles == result.latency_percentiles
+        assert back.hop_class_latency == result.hop_class_latency
+
+    def test_unknown_fields_are_ignored(self, result):
+        payload = result.to_json_dict()
+        payload["added_in_some_future_version"] = 123
+        assert SimulationResult.from_json_dict(payload) == result
