@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Watching congestion form: the repro.obs observability surfaces.
+
+The paper argues (§3.4) that wormhole networks saturate when a few
+blocked messages chain-lock channels across the network — a spatial
+story the summary statistics can't tell.  This example runs one
+moderately-loaded hotspot point twice, under deterministic e-cube and
+under the fully adaptive `nbc` router, with a full observer
+attached, and shows where each one hurts: the congestion heatmap around
+the hotspot, the hottest blocked links, the in-flight time series, and
+the engine phase timings.
+
+Run:  python examples/observability_demo.py
+"""
+
+from repro.obs import ObsConfig, Observer
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import Engine
+
+RADIX = 8
+CYCLES = 4000
+LOAD = 0.45
+
+
+def observe(algorithm: str) -> Observer:
+    config = SimulationConfig(
+        radix=RADIX,
+        n_dims=2,
+        algorithm=algorithm,
+        traffic="hotspot",
+        offered_load=LOAD,
+        seed=23,
+    )
+    engine = Engine(config)
+    observer = Observer(ObsConfig(stride=16))
+    engine.attach_observer(observer)
+    engine.run_cycles(CYCLES)
+    print(
+        f"\n=== {algorithm}: hotspot @ {LOAD:.2f}, "
+        f"{RADIX}x{RADIX} torus, {CYCLES} cycles ===\n"
+    )
+    print(observer.heatmap.ascii("blocked"))
+    return observer
+
+
+def main() -> None:
+    observers = {name: observe(name) for name in ("ecube", "nbc")}
+
+    print("\n=== side by side ===")
+    for name, observer in observers.items():
+        metrics = observer.metrics_summary()
+        events = metrics["events"]
+        flight = metrics["probes"]["in_flight_messages"]
+        heat = metrics["heatmap"]
+        print(
+            f"  {name:>5}: delivered={events.get('msg_delivered', 0):5d}"
+            f"  blocked-attempts={events.get('msg_blocked', 0):6d}"
+            f"  peak in-flight={flight['max']:.0f}"
+            f"  hottest blocked link={heat['hottest_blocked_link']}"
+        )
+
+    print(
+        "\nThe e-cube grid concentrates blocking on the hotspot row and "
+        "column\n(dimension-ordered paths all funnel through them); nbc "
+        "routes around\nthe hot links, spreading the same traffic across "
+        "its minimal paths.\n"
+    )
+
+    print("=== engine phase profile (nbc run) ===")
+    profiler = observers["nbc"].profiler
+    assert profiler is not None
+    print(profiler.format_table())
+
+
+if __name__ == "__main__":
+    main()

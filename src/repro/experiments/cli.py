@@ -11,8 +11,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.experiments import paper_figures
 from repro.experiments.profiles import PROFILES, apply_profile
@@ -89,9 +90,47 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         "--csv", default=None, help="also write results to this CSV file"
     )
     parser.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "attach a repro.obs observer to every point: per-cycle "
+            "probes, an NDJSON event trace, congestion heatmaps and "
+            "phase timings, aggregated into each result's obs_metrics "
+            "(and into the checkpoint file)"
+        ),
+    )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "also export per-point artifact files (trace.ndjson, "
+            "probes.csv/ndjson, heatmap.csv/txt, metrics.json) into DIR; "
+            "implies --obs"
+        ),
+    )
+    parser.add_argument(
+        "--obs-stride",
+        type=int,
+        default=None,
+        metavar="N",
+        help="probe sampling period in cycles (default 32)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
     return parser.parse_args(argv)
+
+
+def _obs_settings(args: argparse.Namespace) -> Tuple[bool, dict]:
+    """(enabled, obs_options) from the --obs* flags."""
+    enabled = args.obs or args.obs_dir is not None
+    options: dict = {}
+    if args.obs_dir is not None:
+        options["export_dir"] = args.obs_dir
+    if args.obs_stride is not None:
+        options["stride"] = args.obs_stride
+    return enabled, options
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -107,6 +146,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
 
+    obs_enabled, obs_options = _obs_settings(args)
+
     if args.figure is not None:
         run, check = _FIGURES[args.figure]
         series = run(
@@ -117,6 +158,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             verbose=not args.quiet,
             jobs=args.jobs,
             checkpoint=args.checkpoint,
+            obs=obs_enabled,
+            obs_options=obs_options,
         )
         title = f"Paper figure {args.figure}"
         checks = check(series)
@@ -124,6 +167,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = SimulationConfig(traffic=args.traffic, seed=args.seed)
         if args.profile is not None:
             config = apply_profile(config, args.profile)
+        if obs_enabled:
+            config = dataclasses.replace(
+                config, obs=True, obs_options=obs_options
+            )
         series = sweep_algorithms(
             config,
             algorithms,
@@ -145,6 +192,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.csv, "w", newline="") as stream:
             write_csv(series, stream)
         print(f"\nwrote {args.csv}")
+    if args.obs_dir is not None:
+        print(f"\nobservability artifacts in {args.obs_dir}/")
     return 0 if all(passed for _, passed in checks) else (1 if checks else 0)
 
 

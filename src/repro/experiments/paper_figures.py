@@ -18,7 +18,7 @@ cycle-exact numbers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.profiles import apply_profile, current_profile
 from repro.experiments.sweep import (
@@ -41,6 +41,15 @@ def _base_config(profile: Optional[str], **overrides: object) -> SimulationConfi
     return apply_profile(config, profile_name)
 
 
+def _obs_overrides(
+    obs: bool, obs_options: Optional[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Config overrides attaching observers to every point of a figure."""
+    if not obs:
+        return {}
+    return {"obs": True, "obs_options": dict(obs_options or {})}
+
+
 def figure3(
     profile: Optional[str] = None,
     offered_loads: Sequence[float] = PAPER_LOADS,
@@ -49,9 +58,16 @@ def figure3(
     verbose: bool = False,
     jobs: int = 1,
     checkpoint: Optional[str] = None,
+    obs: bool = False,
+    obs_options: Optional[Dict[str, Any]] = None,
 ) -> Series:
     """Uniform traffic of 16-flit worms (paper Figure 3)."""
-    config = _base_config(profile, traffic="uniform", seed=seed)
+    config = _base_config(
+        profile,
+        traffic="uniform",
+        seed=seed,
+        **_obs_overrides(obs, obs_options),
+    )
     return sweep_algorithms(
         config,
         algorithms,
@@ -71,6 +87,8 @@ def figure4(
     verbose: bool = False,
     jobs: int = 1,
     checkpoint: Optional[str] = None,
+    obs: bool = False,
+    obs_options: Optional[Dict[str, Any]] = None,
 ) -> Series:
     """Hotspot traffic, 4% to the max-coordinate node (paper Figure 4)."""
     config = _base_config(
@@ -78,6 +96,7 @@ def figure4(
         traffic="hotspot",
         traffic_options={"fraction": hotspot_fraction},
         seed=seed,
+        **_obs_overrides(obs, obs_options),
     )
     return sweep_algorithms(
         config,
@@ -98,6 +117,8 @@ def figure5(
     verbose: bool = False,
     jobs: int = 1,
     checkpoint: Optional[str] = None,
+    obs: bool = False,
+    obs_options: Optional[Dict[str, Any]] = None,
 ) -> Series:
     """Local traffic within a radius-3 neighbourhood (paper Figure 5)."""
     config = _base_config(
@@ -105,6 +126,7 @@ def figure5(
         traffic="local",
         traffic_options={"radius": radius},
         seed=seed,
+        **_obs_overrides(obs, obs_options),
     )
     return sweep_algorithms(
         config,
@@ -124,10 +146,16 @@ def vct_comparison(
     verbose: bool = False,
     jobs: int = 1,
     checkpoint: Optional[str] = None,
+    obs: bool = False,
+    obs_options: Optional[Dict[str, Any]] = None,
 ) -> Series:
     """Virtual cut-through rerun of Section 3.4 (uniform traffic)."""
     config = _base_config(
-        profile, traffic="uniform", switching="vct", seed=seed
+        profile,
+        traffic="uniform",
+        switching="vct",
+        seed=seed,
+        **_obs_overrides(obs, obs_options),
     )
     return sweep_algorithms(
         config,

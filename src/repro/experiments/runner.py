@@ -8,6 +8,7 @@ stops at convergence or at the sample cap.
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional
 
 from repro.routing.base import RoutingAlgorithm
@@ -15,9 +16,11 @@ from repro.simulator.config import SimulationConfig
 from repro.simulator.engine import Engine
 from repro.stats.convergence import ConvergenceChecker
 from repro.stats.counters import SampleRecord
+from repro.stats.metrics import nearest_rank_percentile
 from repro.stats.summary import SimulationResult
 from repro.topology.base import Topology
 from repro.traffic.base import TrafficPattern
+from repro.traffic.load import max_offered_load
 
 
 def run_point(
@@ -40,26 +43,44 @@ def run_point(
         min_samples=config.min_samples,
     )
 
-    engine.run_cycles(config.warmup_cycles)
-    engine.fabric.reset_flit_counters()  # VC usage measured post-warmup
-
+    observer = engine.observer
     samples: List[SampleRecord] = []
     converged = False
-    while True:
-        engine.advance_streams()
-        engine.start_sample()
-        engine.run_cycles(config.sample_cycles)
-        samples.append(engine.end_sample())
-        if checker.converged(samples):
-            converged = True
-            break
-        if len(samples) >= config.max_samples:
-            converged = False
-            break
-        if config.gap_cycles:
-            engine.run_cycles(config.gap_cycles)
+    try:
+        # No counter reset after warm-up: VC usage is measured as
+        # per-sample snapshot deltas (Engine.start_sample/end_sample), so
+        # warm-up and gap-cycle traffic never leaks into the reported
+        # statistics.
+        engine.run_cycles(config.warmup_cycles)
 
-    return summarize(config, engine, samples, converged, checker)
+        while True:
+            engine.advance_streams()
+            engine.start_sample()
+            engine.run_cycles(config.sample_cycles)
+            samples.append(engine.end_sample())
+            if checker.converged(samples):
+                converged = True
+                break
+            if len(samples) >= config.max_samples:
+                converged = False
+                break
+            if config.gap_cycles:
+                engine.run_cycles(config.gap_cycles)
+    finally:
+        # Export even when the run dies (the trace of a deadlocked run,
+        # ending in its deadlock event, is the most valuable one).
+        if observer is not None and observer.config.export_dir is not None:
+            observer.export(prefix=obs_export_prefix(config))
+
+    result = summarize(config, engine, samples, converged, checker)
+    if observer is not None:
+        result.obs_metrics = observer.metrics_summary()
+    return result
+
+
+def obs_export_prefix(config: SimulationConfig) -> str:
+    """Filesystem-safe artifact prefix for one simulation point."""
+    return re.sub(r"[^A-Za-z0-9._^-]+", "_", config.label()).strip("_")
 
 
 def summarize(
@@ -101,16 +122,34 @@ def summarize(
     percentiles: dict = {}
     if pooled_latencies:
         pooled_latencies.sort()
-        last = len(pooled_latencies) - 1
         for mark in (50, 95, 99):
-            percentiles[mark] = float(
-                pooled_latencies[min(last, (last * mark) // 100)]
+            percentiles[mark] = nearest_rank_percentile(
+                pooled_latencies, mark
             )
 
+    # VC usage over the sampling windows only, so the load-balance
+    # fractions share a denominator with flits_moved (gap-cycle flits
+    # would otherwise inflate the per-class counts but not the
+    # throughput they are compared against).
     vc_usage = [0] * engine.fabric.num_vcs
-    for channel in engine.fabric.channels:
-        for vc in channel.vcs:
-            vc_usage[vc.vc_class] += vc.flits_carried_total
+    for sample in samples:
+        for vc_class, count in enumerate(sample.vc_usage):
+            vc_usage[vc_class] += count
+
+    # The injection rate is a per-cycle probability capped at 1.0, so
+    # requested loads past the sources' generation capacity are not
+    # actually offered; label the point with the load that was.
+    capacity = max_offered_load(
+        engine.topology, message_length, engine.traffic.mean_distance()
+    )
+    actual_load = min(config.offered_load, capacity)
+    notes = f"switching={config.switching}"
+    if actual_load < config.offered_load:
+        notes += (
+            f"; offered_load clamped to {actual_load:.4f}"
+            f" (requested {config.offered_load:g} exceeds the"
+            f" 1 msg/node/cycle injection capacity)"
+        )
 
     return SimulationResult(
         algorithm=engine.algorithm.name,
@@ -131,8 +170,9 @@ def summarize(
         latency_percentiles=percentiles,
         hop_class_latency=dict(estimate.stratum_means),
         vc_class_usage=vc_usage,
-        notes=f"switching={config.switching}",
+        offered_load_actual=actual_load,
+        notes=notes,
     )
 
 
-__all__ = ["run_point", "summarize"]
+__all__ = ["obs_export_prefix", "run_point", "summarize"]

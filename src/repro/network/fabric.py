@@ -45,6 +45,29 @@ class Fabric:
         """Lifetime flit-crossings summed over all physical channels."""
         return sum(channel.flits_moved for channel in self.channels)
 
+    def vc_class_totals(self) -> List[int]:
+        """Flits carried per virtual-channel class, summed over channels."""
+        totals = [0] * self.num_vcs
+        for channel in self.channels:
+            for vc in channel.vcs:
+                totals[vc.vc_class] += vc.flits_carried_total
+        return totals
+
+    def channel_occupancies(self) -> List[int]:
+        """Currently buffered flits per physical channel (by link index)."""
+        return [
+            sum(vc.occupancy for vc in channel.vcs)
+            for channel in self.channels
+        ]
+
+    def vc_class_occupancies(self) -> List[int]:
+        """Currently buffered flits per virtual-channel class."""
+        totals = [0] * self.num_vcs
+        for channel in self.channels:
+            for vc in channel.vcs:
+                totals[vc.vc_class] += vc.occupancy
+        return totals
+
     def reset_flit_counters(self) -> None:
         """Zero the utilization counters (used between sampling periods)."""
         for channel in self.channels:

@@ -1,0 +1,72 @@
+"""Fixed-capacity ring buffers for observability time series.
+
+Probes sample per-cycle quantities for the whole lifetime of a run; a
+bounded ring keeps the memory of an observed simulation independent of
+its length — old samples are overwritten, and the number of overwritten
+samples is tracked so exports can state what was dropped rather than
+silently truncating.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, TypeVar
+
+from repro.util.validation import require_positive
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """A fixed-capacity FIFO that overwrites its oldest entries."""
+
+    __slots__ = ("capacity", "_items", "_start", "dropped")
+
+    def __init__(self, capacity: int) -> None:
+        require_positive(capacity, "capacity")
+        self.capacity = capacity
+        self._items: List[T] = []
+        self._start = 0  # index of the oldest element once full
+        #: Samples overwritten because the buffer was full.
+        self.dropped = 0
+
+    def append(self, item: T) -> None:
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        self._items[self._start] = item
+        self._start += 1
+        if self._start == self.capacity:
+            self._start = 0
+        self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        """Oldest-to-newest iteration."""
+        items = self._items
+        start = self._start
+        for offset in range(len(items)):
+            index = start + offset
+            if index >= len(items):
+                index -= len(items)
+            yield items[index]
+
+    def last(self) -> T:
+        """The newest element (raises IndexError when empty)."""
+        if not self._items:
+            raise IndexError("last() on an empty RingBuffer")
+        index = self._start - 1 if self._start else len(self._items) - 1
+        return self._items[index]
+
+    def to_list(self) -> List[T]:
+        return list(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RingBuffer(len={len(self._items)}/{self.capacity}, "
+            f"dropped={self.dropped})"
+        )
+
+
+__all__ = ["RingBuffer"]

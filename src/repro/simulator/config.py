@@ -104,6 +104,17 @@ class SimulationConfig:
     #: message overhead; off by default for production sweeps.
     sanitize: bool = False
 
+    # -- observability (repro.obs) -------------------------------------------
+    #: Attach a :class:`repro.obs.Observer` to the engine.  Off by
+    #: default: a disabled engine runs the exact seed code path (the
+    #: golden-trace tests pin bit-identical behaviour either way).
+    obs: bool = False
+    #: Options forwarded to :meth:`repro.obs.ObsConfig.from_options`
+    #: (stride, ring_capacity, trace, trace_limit, trace_flits, heatmap,
+    #: profile, vectors, export_dir).  Validated lazily so configs stay
+    #: picklable for parallel sweep workers without importing repro.obs.
+    obs_options: Dict[str, Any] = field(default_factory=dict)
+
     def __post_init__(self) -> None:
         require(self.topology in ("torus", "mesh"),
                 f"topology must be 'torus' or 'mesh', got {self.topology!r}")

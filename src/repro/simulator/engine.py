@@ -36,9 +36,11 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from time import perf_counter
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
     from repro.traffic.trace import MessageTrace
 
 from repro.network.fabric import Fabric
@@ -54,7 +56,7 @@ from repro.topology.base import Topology
 from repro.traffic.arrivals import GeometricArrivals
 from repro.traffic.base import TrafficPattern
 from repro.traffic.load import offered_load_to_rate
-from repro.util.errors import DeadlockError
+from repro.util.errors import ConfigurationError, DeadlockError
 from repro.util.rng import (
     STREAM_ARRIVALS,
     STREAM_DESTINATIONS,
@@ -155,6 +157,19 @@ class Engine:
         self._sample_flits_base = 0
         self._sample_generated_base = 0
         self._sample_refused_base = 0
+        self._sample_vc_base: List[int] = []
+
+        # Optional repro.obs observer.  When None (the default) the
+        # engine runs the seed code path: step() takes the unobserved
+        # branch and the per-event hook checks all fail in one
+        # attribute-is-None test.
+        self._obs: Optional["Observer"] = None
+        if config.obs:
+            from repro.obs.observer import ObsConfig, Observer
+
+            self.attach_observer(
+                Observer(ObsConfig.from_options(config.obs_options))
+            )
 
     # ------------------------------------------------------------------
     # public driving interface
@@ -162,6 +177,12 @@ class Engine:
 
     def step(self) -> None:
         """Advance the simulation by one cycle."""
+        if self._obs is not None:
+            # The observed path duplicates the phase sequence below so
+            # the unobserved path stays exactly the seed hot path (this
+            # one branch is its entire per-cycle overhead).
+            self._step_observed(self._obs)
+            return
         progressed = False
         self._generate_arrivals()
         if self._delivering:
@@ -182,6 +203,56 @@ class Engine:
         ):
             self._report_deadlock()
         self.cycle += 1
+
+    def _step_observed(self, obs: "Observer") -> None:
+        """One cycle with observability: same phases, plus hooks.
+
+        Phase order and all engine state transitions are identical to
+        :meth:`step`; the additions only read state (probes, heatmap)
+        or time the phases, so observed runs stay bit-identical to
+        unobserved ones (pinned by the golden-trace tests).
+        """
+        profiler = obs.profiler
+        progressed = False
+        if profiler is not None:
+            t0 = perf_counter()
+            self._generate_arrivals()
+            profiler.add("generation", perf_counter() - t0)
+            if self._delivering:
+                t0 = perf_counter()
+                progressed |= self._eject()
+                profiler.add("ejection", perf_counter() - t0)
+            if self._route_queue:
+                t0 = perf_counter()
+                progressed |= self._route()
+                profiler.add("routing", perf_counter() - t0)
+            if self._active_channels:
+                t0 = perf_counter()
+                progressed |= self._transmit()
+                profiler.add("transmission", perf_counter() - t0)
+        else:
+            self._generate_arrivals()
+            if self._delivering:
+                progressed |= self._eject()
+            if self._route_queue:
+                progressed |= self._route()
+            if self._active_channels:
+                progressed |= self._transmit()
+        if progressed:
+            self._last_progress = self.cycle
+        elif (
+            self.in_flight
+            and self.cycle - self._last_progress
+            > self.config.deadlock_threshold
+        ):
+            self._report_deadlock()
+        self.cycle += 1
+        if profiler is not None:
+            t0 = perf_counter()
+            obs.on_cycle_end(self)
+            profiler.add("observe", perf_counter() - t0)
+        else:
+            obs.on_cycle_end(self)
 
     def run_cycles(self, cycles: int) -> None:
         """Advance the simulation by *cycles* cycles.
@@ -216,6 +287,44 @@ class Engine:
         self._rng_destinations = self.rng.stream(STREAM_DESTINATIONS)
         self._rng_routing = self.rng.stream(STREAM_ROUTING)
 
+    # -- observability ---------------------------------------------------
+
+    @property
+    def observer(self) -> Optional["Observer"]:
+        """The attached repro.obs observer, if any."""
+        return self._obs
+
+    def attach_observer(self, observer: "Observer") -> None:
+        """Attach a :class:`repro.obs.Observer` to this engine.
+
+        The observer's hooks start firing from the next cycle on.  Flit-
+        level tracing (``trace_flits``) shadows ``_handle_flit_arrival``
+        with an instance attribute so the transmit loop itself needs no
+        per-flit branch when it is off.
+        """
+        if self._obs is not None:
+            raise ConfigurationError(
+                "an observer is already attached to this engine"
+            )
+        observer.bind(self)
+        self._obs = observer
+        if observer.trace_flit_moves:
+            inner = self._handle_flit_arrival
+
+            def traced_arrival(vc: VirtualChannel) -> None:
+                observer.on_flit_arrival(self, vc)
+                inner(vc)
+
+            self._handle_flit_arrival = traced_arrival  # type: ignore[method-assign]
+
+    def detach_observer(self) -> Optional["Observer"]:
+        """Detach and return the observer (None if none was attached)."""
+        observer = self._obs
+        self._obs = None
+        # Remove the flit-arrival shadow, if tracing installed one.
+        self.__dict__.pop("_handle_flit_arrival", None)
+        return observer
+
     # -- sampling --------------------------------------------------------
 
     def start_sample(self) -> None:
@@ -225,6 +334,10 @@ class Engine:
         self._sample_flits_base = self.flits_moved_total
         self._sample_generated_base = self.controller.admitted
         self._sample_refused_base = self.controller.refused
+        # Per-class flit counters accumulate across gap cycles too; the
+        # snapshot restricts the sample's vc_usage to its own window so
+        # it shares a denominator with flits_moved.
+        self._sample_vc_base = self.fabric.vc_class_totals()
 
     def end_sample(self) -> SampleRecord:
         """Stop recording and return the finished sample."""
@@ -236,6 +349,12 @@ class Engine:
             self.controller.admitted - self._sample_generated_base
         )
         sample.refused = self.controller.refused - self._sample_refused_base
+        sample.vc_usage = [
+            total - base
+            for total, base in zip(
+                self.fabric.vc_class_totals(), self._sample_vc_base
+            )
+        ]
         self._sample = None
         return sample
 
@@ -281,6 +400,8 @@ class Engine:
         state = algorithm.new_state(src, dst)
         msg_class = algorithm.message_class(src, dst, state)
         if not self.controller.try_admit(src, msg_class):
+            if self._obs is not None:
+                self._obs.on_message_refused(self, src, dst)
             return False
         message = Message(
             msg_id=self._msg_counter,
@@ -296,6 +417,8 @@ class Engine:
         self.generated_total += 1
         self.in_flight += 1
         self._route_queue.append(message)
+        if self._obs is not None:
+            self._obs.on_message_created(self, message)
         return True
 
     # ------------------------------------------------------------------
@@ -307,6 +430,7 @@ class Engine:
         policy = self.config.selection_policy
         rng = self._rng_routing
         sanitizer = self.sanitizer
+        obs = self._obs
         progressed = False
         for _ in range(len(queue)):
             message = queue.popleft()
@@ -324,11 +448,15 @@ class Engine:
                             for vc, _ in candidates
                         ],
                     )
+                if obs is not None:
+                    obs.on_message_blocked(self, message, candidates)
                 queue.append(message)  # retry next cycle, FIFO order kept
                 continue
             if sanitizer is not None:
                 sanitizer.clear(message.msg_id)
             self._allocate(message, chosen)
+            if obs is not None:
+                obs.on_vc_acquired(self, message, chosen[0])
             progressed = True
         return progressed
 
@@ -493,6 +621,8 @@ class Engine:
             sample.deliveries.append(
                 (owner.delivered_at - owner.created_at, owner.distance)
             )
+        if self._obs is not None:
+            self._obs.on_message_delivered(self, owner)
 
     # ------------------------------------------------------------------
     # shared bookkeeping
@@ -521,12 +651,16 @@ class Engine:
             f"messages: {'; '.join(stuck) or 'none in route queue'}"
         )
         if self.sanitizer is None:
+            if self._obs is not None:
+                self._obs.on_deadlock(self, summary, None)
             raise DeadlockError(
                 summary
                 + " (run with SimulationConfig.sanitize=True for a "
                 "wait-for-graph diagnosis)"
             )
         report = self.sanitizer.build_report()
+        if self._obs is not None:
+            self._obs.on_deadlock(self, summary, report)
         raise DeadlockError(summary + "\n" + report.format(), report=report)
 
     # ------------------------------------------------------------------

@@ -60,6 +60,14 @@ class InjectionController:
         """Current outstanding injections for a (node, class)."""
         return self._outstanding.get((node, msg_class), 0)
 
+    def total_outstanding(self) -> int:
+        """Messages still being injected, summed over every (node, class).
+
+        With ``limit=None`` occupancy is not tracked and this reports 0;
+        the ``injection_backlog`` probe documents that caveat.
+        """
+        return sum(self._outstanding.values())
+
     def reset_counters(self) -> None:
         """Zero the admitted/refused statistics (not the occupancy)."""
         self.admitted = 0

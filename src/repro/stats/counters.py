@@ -11,6 +11,10 @@ class SampleRecord:
     ``deliveries`` holds one ``(latency, hops)`` pair per message delivered
     while the sample was active; hops is the message's (minimal) path
     length and doubles as its hop-class/stratum id.
+
+    ``vc_usage`` is the flits carried per virtual-channel class during
+    this sample only — the same window ``flits_moved`` counts, so the
+    two share a denominator (gap-cycle traffic is excluded from both).
     """
 
     __slots__ = (
@@ -20,6 +24,7 @@ class SampleRecord:
         "flits_moved",
         "generated",
         "refused",
+        "vc_usage",
     )
 
     def __init__(self, start_cycle: int) -> None:
@@ -29,6 +34,7 @@ class SampleRecord:
         self.flits_moved = 0
         self.generated = 0
         self.refused = 0
+        self.vc_usage: List[int] = []
 
     @property
     def delivered(self) -> int:

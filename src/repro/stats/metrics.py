@@ -11,6 +11,9 @@ crossings, which equals the paper's eq. (3) in steady state.
 
 from __future__ import annotations
 
+import math
+from typing import Sequence
+
 from repro.util.validation import require_positive
 
 
@@ -50,8 +53,31 @@ def normalized_throughput(
     return total_hops * message_length / (cycles * num_channels)
 
 
+def nearest_rank_percentile(
+    sorted_values: Sequence[float], mark: float
+) -> float:
+    """The *mark*-th percentile of *sorted_values* by the nearest-rank rule.
+
+    Nearest-rank: the smallest value such that at least ``mark`` percent
+    of the sample is <= it, i.e. index ``ceil(mark/100 * n) - 1`` of the
+    ascending-sorted sample.  (The earlier ``(n-1) * mark // 100``
+    indexing was biased low for small samples: with n = 4 it returned
+    the 3rd value as the 95th percentile instead of the maximum.)
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0 < mark <= 100:
+        raise ValueError(f"percentile mark must be in (0, 100], got {mark}")
+    n = len(sorted_values)
+    index = math.ceil(mark / 100.0 * n) - 1
+    if index < 0:
+        index = 0
+    return float(sorted_values[index])
+
+
 __all__ = [
     "achieved_utilization",
     "ideal_latency",
+    "nearest_rank_percentile",
     "normalized_throughput",
 ]

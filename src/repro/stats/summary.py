@@ -43,8 +43,18 @@ class SimulationResult:
     #: Mean latency per hop-class (stratum), for deeper analysis.
     hop_class_latency: Dict[int, float] = field(default_factory=dict)
     #: Flits carried per virtual-channel class, summed over all physical
-    #: channels during sampling — the paper's VC load-balance discussion.
+    #: channels during sampling periods only — the paper's VC load-balance
+    #: discussion, on the same denominator as ``achieved_utilization``.
     vc_class_usage: List[int] = field(default_factory=list)
+    #: The load the sources actually offered.  Equals ``offered_load``
+    #: except when the requested load exceeds the generation capacity
+    #: (one message per node per cycle) and the injection rate was
+    #: clamped; ``None`` on results predating this field.
+    offered_load_actual: Optional[float] = None
+    #: Aggregated observability metrics (``repro.obs``), present when the
+    #: point ran with ``SimulationConfig.obs=True``; carried into sweep
+    #: checkpoint files.
+    obs_metrics: Optional[Dict[str, Any]] = None
     #: Extra context (profile name, switching mode, ...).
     notes: Optional[str] = None
 
@@ -57,14 +67,30 @@ class SimulationResult:
         return self.messages_refused / offered
 
     def to_dict(self) -> Dict[str, object]:
-        """Flat dict for CSV writers and tables."""
+        """Flat dict for CSV writers and tables.
+
+        Every reported quantity appears: compound fields are flattened —
+        ``latency_percentiles`` into ``latency_p50/p95/p99`` columns
+        (0.0 when no message was delivered) and ``vc_class_usage`` into a
+        single ``;``-joined column so the schema stays fixed across
+        algorithms with different virtual-channel counts.
+        """
         return {
             "algorithm": self.algorithm,
             "traffic": self.traffic,
             "offered_load": self.offered_load,
+            "offered_load_actual": (
+                self.offered_load
+                if self.offered_load_actual is None
+                else self.offered_load_actual
+            ),
             "injection_rate": self.injection_rate,
             "average_latency": self.average_latency,
             "latency_error_bound": self.latency_error_bound,
+            "average_wait": self.average_wait,
+            "latency_p50": float(self.latency_percentiles.get(50, 0.0)),
+            "latency_p95": float(self.latency_percentiles.get(95, 0.0)),
+            "latency_p99": float(self.latency_percentiles.get(99, 0.0)),
             "achieved_utilization": self.achieved_utilization,
             "delivered_throughput": self.delivered_throughput,
             "samples_used": self.samples_used,
@@ -74,6 +100,10 @@ class SimulationResult:
             "messages_delivered": self.messages_delivered,
             "messages_refused": self.messages_refused,
             "refusal_rate": self.refusal_rate,
+            "vc_class_usage": ";".join(
+                str(count) for count in self.vc_class_usage
+            ),
+            "notes": self.notes or "",
         }
 
     def to_json_dict(self) -> Dict[str, Any]:

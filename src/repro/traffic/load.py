@@ -30,7 +30,16 @@ def offered_load_to_rate(
     message_length: int,
     mean_distance: float,
 ) -> float:
-    """Per-node message-generation probability for a target offered load."""
+    """Per-node message-generation probability for a target offered load.
+
+    The rate is a per-cycle probability, so it is capped at 1.0: a node
+    cannot generate more than one message per cycle.  Loads above
+    :func:`max_offered_load` therefore all map to rate 1.0 — callers
+    that care (the experiment runner does) must compare the requested
+    load against :func:`max_offered_load` and report the load actually
+    offered, rather than labelling a saturated point with a load the
+    sources could never generate.
+    """
     require_positive(message_length, "message_length")
     require_positive(mean_distance, "mean_distance")
     if offered_load < 0:
@@ -41,6 +50,21 @@ def offered_load_to_rate(
         / (message_length * mean_distance)
     )
     return min(rate, 1.0)
+
+
+def max_offered_load(
+    topology: Topology,
+    message_length: int,
+    mean_distance: float,
+) -> float:
+    """Highest offered load the sources can actually generate.
+
+    The geometric arrival process fires at most one message per node per
+    cycle (rate 1.0); this is the offered channel utilization that limit
+    corresponds to.  Requested loads above it are clamped by
+    :func:`offered_load_to_rate`.
+    """
+    return rate_to_offered_load(1.0, topology, message_length, mean_distance)
 
 
 def rate_to_offered_load(
@@ -57,6 +81,7 @@ def rate_to_offered_load(
 
 __all__ = [
     "channels_per_node",
+    "max_offered_load",
     "offered_load_to_rate",
     "rate_to_offered_load",
 ]

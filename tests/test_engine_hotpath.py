@@ -87,6 +87,46 @@ class TestGoldenTraces:
         assert engine.conservation_check()
 
 
+class TestObservedGoldenTraces:
+    """Full observability on must not perturb the flit schedule.
+
+    Same golden counters as above, with a repro.obs observer attached
+    (probes, event trace incl. per-flit moves, heatmap, profiler all
+    enabled): observation reads engine state but never feeds back into
+    it, so the schedule stays bit-identical to the seed engine.
+    """
+
+    @pytest.mark.parametrize("algorithm", sorted(SEED_GOLDEN_TRACES))
+    def test_observed_trace_matches_seed_engine(self, algorithm):
+        config = SimulationConfig(
+            radix=6,
+            n_dims=2,
+            algorithm=algorithm,
+            offered_load=0.5,
+            seed=7,
+            obs=True,
+            obs_options={
+                "stride": 16,
+                "trace_flits": True,
+                "trace_limit": 1000,
+            },
+        )
+        engine = Engine(config)
+        engine.run_cycles(3000)
+        trace = (
+            engine.flits_moved_total,
+            engine.delivered_total,
+            engine.generated_total,
+        )
+        assert trace == SEED_GOLDEN_TRACES[algorithm]
+        assert engine.conservation_check()
+        # The observer's own books agree with the engine's counters.
+        counts = engine.observer.event_counts
+        assert counts["flit_moved"] == engine.flits_moved_total
+        assert counts["msg_delivered"] == engine.delivered_total
+        assert counts["msg_created"] == engine.generated_total
+
+
 class TestIdleFastForward:
     def _config(self, **overrides):
         base = dict(

@@ -1,0 +1,182 @@
+"""Regression tests for the measurement-path fixes.
+
+Each class pins one repaired defect:
+
+* nearest-rank percentiles were biased low (``(n-1)*mark//100``);
+* ``SimulationResult.to_dict`` silently dropped ``average_wait``,
+  the latency percentiles and ``vc_class_usage`` from CSV output;
+* per-class VC usage counted gap-cycle flits while ``flits_moved``
+  counted only sampling windows (mismatched denominators);
+* offered loads beyond the injection capacity were clamped silently.
+"""
+
+import pytest
+
+from tests.conftest import tiny_config
+from repro.experiments.runner import run_point
+from repro.simulator.engine import Engine
+from repro.stats.metrics import nearest_rank_percentile
+from repro.stats.summary import SimulationResult
+from repro.traffic.load import max_offered_load, offered_load_to_rate
+
+
+class TestNearestRankPercentile:
+    def test_single_value_is_every_percentile(self):
+        for mark in (1, 50, 95, 99, 100):
+            assert nearest_rank_percentile([10], mark) == 10.0
+
+    def test_small_n_nearest_rank_table(self):
+        # ceil(mark/100 * n) - 1, per the nearest-rank definition.
+        assert nearest_rank_percentile([1, 2], 50) == 1.0
+        assert nearest_rank_percentile([1, 2], 95) == 2.0
+        assert nearest_rank_percentile([1, 2, 3], 50) == 2.0
+        assert nearest_rank_percentile([1, 2, 3, 4], 50) == 2.0
+        assert nearest_rank_percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_p95_of_four_is_the_max(self):
+        # The old (n-1)*mark//100 indexing gave 3 here.
+        assert nearest_rank_percentile([1, 2, 3, 4], 95) == 4.0
+
+    def test_p100_is_the_max(self):
+        assert nearest_rank_percentile([5, 7, 9], 100) == 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_rank_percentile([], 50)
+
+    @pytest.mark.parametrize("mark", [0, -1, 101])
+    def test_out_of_range_mark_rejected(self, mark):
+        with pytest.raises(ValueError):
+            nearest_rank_percentile([1], mark)
+
+
+def _result(**overrides):
+    defaults = dict(
+        algorithm="ecube",
+        traffic="uniform",
+        offered_load=0.4,
+        injection_rate=0.1,
+        average_latency=25.0,
+        latency_error_bound=1.0,
+        average_wait=3.5,
+        achieved_utilization=0.3,
+        delivered_throughput=0.28,
+        samples_used=3,
+        converged=True,
+        cycles_simulated=5000,
+        messages_generated=900,
+        messages_delivered=880,
+        messages_refused=20,
+        latency_percentiles={50: 22.0, 95: 40.0, 99: 55.0},
+        vc_class_usage=[120, 80],
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestCsvSchema:
+    #: The full flat-export schema; adding a column is fine, dropping
+    #: one is a regression this list is meant to catch.
+    EXPECTED_COLUMNS = {
+        "algorithm",
+        "traffic",
+        "offered_load",
+        "offered_load_actual",
+        "injection_rate",
+        "average_latency",
+        "latency_error_bound",
+        "average_wait",
+        "latency_p50",
+        "latency_p95",
+        "latency_p99",
+        "achieved_utilization",
+        "delivered_throughput",
+        "samples_used",
+        "converged",
+        "cycles_simulated",
+        "messages_generated",
+        "messages_delivered",
+        "messages_refused",
+        "refusal_rate",
+        "vc_class_usage",
+        "notes",
+    }
+
+    def test_every_reported_quantity_exported(self):
+        assert set(_result().to_dict()) >= self.EXPECTED_COLUMNS
+
+    def test_percentiles_flattened(self):
+        row = _result().to_dict()
+        assert row["latency_p50"] == 22.0
+        assert row["latency_p95"] == 40.0
+        assert row["latency_p99"] == 55.0
+
+    def test_wait_and_vc_usage_present(self):
+        row = _result().to_dict()
+        assert row["average_wait"] == 3.5
+        assert row["vc_class_usage"] == "120;80"
+
+    def test_missing_percentiles_export_as_zero(self):
+        row = _result(latency_percentiles={}).to_dict()
+        assert row["latency_p50"] == 0.0
+        assert row["latency_p99"] == 0.0
+
+    def test_no_none_values(self):
+        row = _result(notes=None, offered_load_actual=None).to_dict()
+        assert all(value is not None for value in row.values())
+        assert row["offered_load_actual"] == row["offered_load"]
+
+
+class TestVcUsageWindow:
+    def test_sample_vc_usage_shares_flits_moved_denominator(self):
+        """Per-sample VC usage must sum to that sample's flit count.
+
+        The old implementation read lifetime per-class counters, so
+        warm-up and gap-cycle flits inflated vc_usage relative to
+        flits_moved.  Snapshot deltas restore the invariant even with
+        traffic flowing through gaps between samples.
+        """
+        engine = Engine(tiny_config(offered_load=0.5))
+        engine.run_cycles(300)  # warm-up traffic outside any sample
+        for _ in range(3):
+            engine.start_sample()
+            engine.run_cycles(250)
+            sample = engine.end_sample()
+            assert sum(sample.vc_usage) == sample.flits_moved
+            assert sample.flits_moved > 0
+            engine.run_cycles(100)  # gap cycles, also outside samples
+
+    def test_run_point_vc_usage_bounded_by_sampled_flits(self):
+        result = run_point(tiny_config(offered_load=0.5))
+        # Total sampled flits = achieved utilization x sampled
+        # channel-cycles; the per-class counts partition exactly it.
+        assert sum(result.vc_class_usage) > 0
+
+
+class TestOfferedLoadClamp:
+    def test_capacity_is_where_rate_saturates(self, torus4):
+        from repro.traffic.registry import make_traffic
+
+        mean_distance = make_traffic("uniform", torus4).mean_distance()
+        capacity = max_offered_load(torus4, 4, mean_distance)
+        assert offered_load_to_rate(
+            capacity, torus4, 4, mean_distance
+        ) == pytest.approx(1.0)
+
+    def test_clamped_point_reports_actual_load(self):
+        config = tiny_config(
+            offered_load=8.0, max_samples=2, min_samples=2
+        )
+        result = run_point(config)
+        assert result.offered_load == 8.0
+        assert result.offered_load_actual is not None
+        assert result.offered_load_actual < result.offered_load
+        assert "clamped" in (result.notes or "")
+        assert result.to_dict()["offered_load_actual"] == (
+            result.offered_load_actual
+        )
+
+    def test_unclamped_point_matches_requested_load(self):
+        result = run_point(tiny_config(offered_load=0.2))
+        assert result.offered_load_actual == pytest.approx(0.2)
+        assert "clamped" not in (result.notes or "")
