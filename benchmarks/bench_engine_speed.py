@@ -7,48 +7,26 @@ movement) are visible.  Two entry points:
 * **pytest-benchmark** (``pytest benchmarks/bench_engine_speed.py
   --benchmark-only``): statistical multi-round timing of steady-state
   stepping and engine construction.
-* **script mode** (``python benchmarks/bench_engine_speed.py [--quick]
-  [--output PATH]``): times every paper algorithm at a congested and an
-  idle operating point and writes machine-readable
-  ``BENCH_engine_speed.json`` — cycles/sec and flit-events/sec per
-  algorithm plus python/platform/git metadata — so this and future PRs
-  have a tracked performance trajectory.  CI runs it in quick mode and
-  uploads the JSON as an artifact.
+* **script mode** (``python benchmarks/bench_engine_speed.py`` or the
+  installed ``repro-bench``): the measurement suite itself lives in
+  :mod:`repro.benchmarks.engine_speed` — congested and idle operating
+  points for every paper algorithm, machine-readable
+  ``BENCH_engine_speed.json`` output, and a ``--compare`` regression
+  gate used by CI's perf-smoke job.
 """
 
-import argparse
-import datetime
-import json
-import platform
-import subprocess
 import sys
-import time
 
 import pytest
 
+from repro.benchmarks.engine_speed import main, warm_engine
 from repro.simulator.config import SimulationConfig
 from repro.simulator.engine import Engine
-
-#: Script-mode measurement matrix: one congested point per algorithm.
-SPEED_ALGORITHMS = ("ecube", "nlast", "2pn", "phop", "nhop", "nbc")
-
-
-def _warm_engine(algorithm: str, offered_load: float) -> Engine:
-    config = SimulationConfig(
-        radix=8,
-        n_dims=2,
-        algorithm=algorithm,
-        offered_load=offered_load,
-        seed=42,
-    )
-    engine = Engine(config)
-    engine.run_cycles(1500)  # reach steady state before timing
-    return engine
 
 
 @pytest.mark.parametrize("algorithm", ["ecube", "2pn", "nbc", "phop"])
 def bench_steady_state_cycles(benchmark, algorithm):
-    engine = _warm_engine(algorithm, offered_load=0.6)
+    engine = warm_engine(algorithm, offered_load=0.6)
     benchmark.pedantic(
         engine.run_cycles, args=(200,), rounds=5, iterations=1
     )
@@ -56,7 +34,7 @@ def bench_steady_state_cycles(benchmark, algorithm):
 
 
 def bench_low_load_cycles(benchmark):
-    engine = _warm_engine("ecube", offered_load=0.05)
+    engine = warm_engine("ecube", offered_load=0.05)
     benchmark.pedantic(
         engine.run_cycles, args=(500,), rounds=5, iterations=1
     )
@@ -72,104 +50,6 @@ def bench_engine_construction(benchmark):
 
     engine = benchmark.pedantic(build, rounds=3, iterations=1)
     assert engine.fabric.num_vcs == 17
-
-
-# ----------------------------------------------------------------------
-# script mode: the persisted BENCH_engine_speed.json baseline
-# ----------------------------------------------------------------------
-
-
-def _git_sha() -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True,
-            text=True,
-            check=True,
-        ).stdout.strip()
-    except (OSError, subprocess.CalledProcessError):
-        return "unknown"
-
-
-def _time_engine(
-    algorithm: str, offered_load: float, warmup: int, cycles: int
-) -> dict:
-    engine = _warm_engine(algorithm, offered_load)
-    if warmup != 1500:
-        engine.run_cycles(max(0, warmup - 1500))
-    flits_before = engine.flits_moved_total
-    start = time.perf_counter()
-    engine.run_cycles(cycles)
-    elapsed = time.perf_counter() - start
-    flit_events = engine.flits_moved_total - flits_before
-    assert engine.conservation_check()
-    return {
-        "offered_load": offered_load,
-        "timed_cycles": cycles,
-        "seconds": round(elapsed, 4),
-        "cycles_per_sec": round(cycles / elapsed, 1),
-        "flit_events": flit_events,
-        "flit_events_per_sec": round(flit_events / elapsed, 1),
-    }
-
-
-def run_speed_suite(quick: bool = False) -> dict:
-    """Measure every algorithm; return the JSON-ready report."""
-    cycles = 600 if quick else 3000
-    report = {
-        "benchmark": "bench_engine_speed",
-        "schema_version": 1,
-        "quick": quick,
-        "timestamp_utc": datetime.datetime.now(
-            datetime.timezone.utc
-        ).isoformat(timespec="seconds"),
-        "git_sha": _git_sha(),
-        "python": sys.version.split()[0],
-        "implementation": platform.python_implementation(),
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "network": "8x8 torus, 16-flit worms, seed 42",
-        "engines": {},
-    }
-    for algorithm in SPEED_ALGORITHMS:
-        report["engines"][algorithm] = {
-            "congested": _time_engine(algorithm, 0.6, 1500, cycles),
-        }
-    # One idle point: exercises the idle-cycle fast-forward path.
-    report["engines"]["ecube"]["idle"] = _time_engine(
-        "ecube", 0.02, 1500, cycles * 5
-    )
-    return report
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Time the engine and write BENCH_engine_speed.json"
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="shorter timed windows (CI smoke mode)",
-    )
-    parser.add_argument(
-        "--output",
-        default="BENCH_engine_speed.json",
-        help="where to write the JSON report",
-    )
-    args = parser.parse_args(argv)
-    report = run_speed_suite(quick=args.quick)
-    with open(args.output, "w") as stream:
-        json.dump(report, stream, indent=2, sort_keys=True)
-        stream.write("\n")
-    for algorithm, runs in report["engines"].items():
-        for point, data in runs.items():
-            print(
-                f"{algorithm:6s} {point:10s} "
-                f"{data['cycles_per_sec']:>10.0f} cyc/s  "
-                f"{data['flit_events_per_sec']:>12.0f} flit-ev/s"
-            )
-    print(f"wrote {args.output}")
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

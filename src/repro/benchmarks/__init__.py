@@ -1,0 +1,12 @@
+"""Installable benchmark suites for the simulator itself.
+
+Not paper artifacts: these track the *simulator's* performance (simulated
+cycles per second, flit events per second) so hot-path regressions are
+caught by CI.  ``repro-bench`` (see ``engine_speed.main``) is the console
+entry point; ``benchmarks/bench_engine_speed.py`` at the repo root wraps
+the same suite for pytest-benchmark use.
+"""
+
+from repro.benchmarks.engine_speed import run_speed_suite
+
+__all__ = ["run_speed_suite"]

@@ -1,0 +1,287 @@
+"""Engine speed suite: simulated cycles per second, per algorithm.
+
+Measures every paper algorithm at two operating points on an 8x8 torus
+(16-flit worms, seed 42):
+
+* **congested** (offered load 0.6): the saturated regime the
+  activity-tracked scheduler targets — most virtual channels blocked,
+  routing queues deep.
+* **idle** (offered load 0.02): dominated by the idle-cycle
+  fast-forward path; doubles as a machine-speed calibration point for
+  cross-machine comparisons.
+
+The report is written to ``BENCH_engine_speed.json`` and committed, so
+the repo carries its own performance trajectory.  ``--compare BASELINE``
+turns the run into a regression gate: current congested throughput is
+checked against the baseline after rescaling by the idle-point speed
+ratio (so a slower CI machine does not read as a regression), and the
+process exits non-zero when any algorithm falls more than ``--tolerance``
+below the rescaled baseline.
+
+Timing noise: on shared machines single runs can swing tens of percent.
+``--repeats N`` times each point N times and keeps the fastest
+observation — the standard best-of-N protocol for throughput
+measurements, where interference only ever slows a run down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import Engine
+
+#: Measurement matrix: one congested and one idle point per algorithm.
+SPEED_ALGORITHMS = ("ecube", "nlast", "2pn", "phop", "nhop", "nbc")
+
+CONGESTED_LOAD = 0.6
+IDLE_LOAD = 0.02
+WARMUP_CYCLES = 1500
+
+
+def warm_engine(algorithm: str, offered_load: float) -> Engine:
+    """A steady-state engine at the suite's canonical network point."""
+    config = SimulationConfig(
+        radix=8,
+        n_dims=2,
+        algorithm=algorithm,
+        offered_load=offered_load,
+        seed=42,
+    )
+    engine = Engine(config)
+    engine.run_cycles(WARMUP_CYCLES)
+    return engine
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def time_engine(
+    algorithm: str,
+    offered_load: float,
+    cycles: int,
+    repeats: int = 1,
+) -> Dict[str, object]:
+    """Time one operating point; best-of-*repeats* observation."""
+    best: Optional[Dict[str, object]] = None
+    for _ in range(max(1, repeats)):
+        engine = warm_engine(algorithm, offered_load)
+        flits_before = engine.flits_moved_total
+        start = time.perf_counter()
+        engine.run_cycles(cycles)
+        elapsed = time.perf_counter() - start
+        flit_events = engine.flits_moved_total - flits_before
+        assert engine.conservation_check()
+        run = {
+            "offered_load": offered_load,
+            "timed_cycles": cycles,
+            "seconds": round(elapsed, 4),
+            "cycles_per_sec": round(cycles / elapsed, 1),
+            "flit_events": flit_events,
+            "flit_events_per_sec": round(flit_events / elapsed, 1),
+        }
+        if best is None or run["cycles_per_sec"] > best["cycles_per_sec"]:
+            best = run
+    assert best is not None
+    if repeats > 1:
+        best["repeats"] = repeats
+    return best
+
+
+def run_speed_suite(
+    quick: bool = False, repeats: int = 1
+) -> Dict[str, object]:
+    """Measure every algorithm; return the JSON-ready report."""
+    cycles = 600 if quick else 3000
+    engines: Dict[str, Dict[str, object]] = {}
+    report: Dict[str, object] = {
+        "benchmark": "bench_engine_speed",
+        "schema_version": 2,
+        "quick": quick,
+        "timestamp_utc": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+        "git_sha": _git_sha(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "network": "8x8 torus, 16-flit worms, seed 42",
+        "engines": engines,
+    }
+    for algorithm in SPEED_ALGORITHMS:
+        engines[algorithm] = {
+            "congested": time_engine(
+                algorithm, CONGESTED_LOAD, cycles, repeats
+            ),
+            # Idle windows are long (the fast-forward path makes them
+            # cheap) so the calibration point is well averaged.
+            "idle": time_engine(
+                algorithm, IDLE_LOAD, cycles * 5, repeats
+            ),
+        }
+    return report
+
+
+# ----------------------------------------------------------------------
+# baseline comparison (the CI regression gate)
+# ----------------------------------------------------------------------
+
+
+def _idle_scale(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> Tuple[float, int]:
+    """Machine-speed ratio current/baseline from the idle points.
+
+    The idle rows measure the same code on both sides, so their ratio
+    is dominated by machine speed, not by engine changes under test.
+    The median across algorithms resists a single noisy row.  Falls
+    back to 1.0 (strict same-machine comparison) when the baseline
+    predates per-algorithm idle rows and shares no idle points.
+    """
+    ratios: List[float] = []
+    baseline_engines = baseline.get("engines", {})
+    for algorithm, runs in current.get("engines", {}).items():
+        base_runs = baseline_engines.get(algorithm, {})
+        cur_idle = runs.get("idle")
+        base_idle = base_runs.get("idle")
+        if cur_idle and base_idle:
+            ratios.append(
+                cur_idle["cycles_per_sec"] / base_idle["cycles_per_sec"]
+            )
+    if not ratios:
+        return 1.0, 0
+    ratios.sort()
+    mid = len(ratios) // 2
+    if len(ratios) % 2:
+        return ratios[mid], len(ratios)
+    return (ratios[mid - 1] + ratios[mid]) / 2, len(ratios)
+
+
+def compare_reports(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float,
+) -> Tuple[bool, List[str]]:
+    """Gate congested throughput against a committed baseline.
+
+    Returns (ok, report lines).  A point fails when its congested
+    cycles/sec falls below ``baseline * machine_scale * (1 - tolerance)``.
+    """
+    scale, calibration_points = _idle_scale(current, baseline)
+    lines = [
+        f"machine-speed scale (idle median over "
+        f"{calibration_points} pts): {scale:.3f}",
+        f"tolerance: -{tolerance:.0%} vs scaled baseline",
+    ]
+    ok = True
+    baseline_engines = baseline.get("engines", {})
+    compared = 0
+    for algorithm, runs in current.get("engines", {}).items():
+        cur = runs.get("congested")
+        base = baseline_engines.get(algorithm, {}).get("congested")
+        if not cur or not base:
+            lines.append(f"{algorithm:6s} congested  (no baseline row)")
+            continue
+        compared += 1
+        expected = base["cycles_per_sec"] * scale
+        floor = expected * (1.0 - tolerance)
+        ratio = cur["cycles_per_sec"] / expected
+        status = "ok" if cur["cycles_per_sec"] >= floor else "REGRESSION"
+        if status != "ok":
+            ok = False
+        lines.append(
+            f"{algorithm:6s} congested  "
+            f"{cur['cycles_per_sec']:>9.0f} cyc/s vs expected "
+            f"{expected:>9.0f} ({ratio:6.2f}x)  {status}"
+        )
+    if compared == 0:
+        ok = False
+        lines.append("no comparable congested rows — failing the gate")
+    return ok, lines
+
+
+def print_report(report: Dict[str, object]) -> None:
+    for algorithm, runs in report["engines"].items():
+        for point, data in runs.items():
+            print(
+                f"{algorithm:6s} {point:10s} "
+                f"{data['cycles_per_sec']:>10.0f} cyc/s  "
+                f"{data['flit_events_per_sec']:>12.0f} flit-ev/s"
+            )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Time the engine and write BENCH_engine_speed.json",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter timed windows (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="N",
+        help="time each point N times, keep the fastest (default 1)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_engine_speed.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="compare congested throughput against a baseline JSON "
+        "report; exit 1 on regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional congested-throughput drop vs the "
+        "scaled baseline (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    report = run_speed_suite(quick=args.quick, repeats=args.repeats)
+    with open(args.output, "w") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print_report(report)
+    print(f"wrote {args.output}")
+    if args.compare:
+        with open(args.compare) as stream:
+            baseline = json.load(stream)
+        ok, lines = compare_reports(report, baseline, args.tolerance)
+        print(f"--- compare vs {args.compare} ---")
+        for line in lines:
+            print(line)
+        if not ok:
+            print("perf gate: FAIL")
+            return 1
+        print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

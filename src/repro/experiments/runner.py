@@ -9,8 +9,10 @@ stops at convergence or at the sample cap.
 from __future__ import annotations
 
 import re
+from time import perf_counter
 from typing import List, Optional
 
+from repro.obs.profile import PhaseProfiler
 from repro.routing.base import RoutingAlgorithm
 from repro.simulator.config import SimulationConfig
 from repro.simulator.engine import Engine
@@ -46,17 +48,25 @@ def run_point(
     observer = engine.observer
     samples: List[SampleRecord] = []
     converged = False
+    # Wall-clock accounting for sweep progress reporting: the same
+    # accumulator the observer uses for engine phases, here with the
+    # runner's own schedule phases.
+    timer = PhaseProfiler(("warmup", "sampling", "gap"))
     try:
         # No counter reset after warm-up: VC usage is measured as
         # per-sample snapshot deltas (Engine.start_sample/end_sample), so
         # warm-up and gap-cycle traffic never leaks into the reported
         # statistics.
+        t0 = perf_counter()
         engine.run_cycles(config.warmup_cycles)
+        timer.add("warmup", perf_counter() - t0)
 
         while True:
             engine.advance_streams()
             engine.start_sample()
+            t0 = perf_counter()
             engine.run_cycles(config.sample_cycles)
+            timer.add("sampling", perf_counter() - t0)
             samples.append(engine.end_sample())
             if checker.converged(samples):
                 converged = True
@@ -65,7 +75,9 @@ def run_point(
                 converged = False
                 break
             if config.gap_cycles:
+                t0 = perf_counter()
                 engine.run_cycles(config.gap_cycles)
+                timer.add("gap", perf_counter() - t0)
     finally:
         # Export even when the run dies (the trace of a deadlocked run,
         # ending in its deadlock event, is the most valuable one).
@@ -73,6 +85,7 @@ def run_point(
             observer.export(prefix=obs_export_prefix(config))
 
     result = summarize(config, engine, samples, converged, checker)
+    result.wall_seconds = round(timer.total_seconds(), 4)
     if observer is not None:
         result.obs_metrics = observer.metrics_summary()
     return result

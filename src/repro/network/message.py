@@ -42,6 +42,9 @@ class Message:
         "flits_ejected",
         "path",
         "cached_candidates",
+        "route_seq",
+        "parked",
+        "park_epoch",
     )
 
     def __init__(
@@ -74,6 +77,14 @@ class Message:
         # Route candidates are invariant while the head is blocked at one
         # node, so they are computed once per node and cached here.
         self.cached_candidates: Optional[List[Tuple[Any, int]]] = None
+        # Activity-tracked scheduler bookkeeping: the FIFO sequence number
+        # of the message's current routing request (assigned per enqueue,
+        # kept while the request is blocked so service order matches the
+        # scanning scheduler's queue discipline), and the parked flag plus
+        # its epoch counter, which invalidates stale waiter-list entries.
+        self.route_seq = -1
+        self.parked = False
+        self.park_epoch = 0
 
     # -- derived position ----------------------------------------------------
 

@@ -8,46 +8,30 @@ reserved, with a settled flit available upstream (present since the start
 of the cycle) and a buffer slot that was free at the start of the cycle.
 
 ``transmit`` is the single hottest function of the whole simulator (it
-runs once per active link per fixpoint pass per cycle), so its scan is
-written against precomputed index orders — one tuple per round-robin
-start position, shared across all channels with the same virtual-channel
-count — and the successful flit transfer is inlined rather than routed
-through :meth:`VirtualChannel.receive_flit`.  The semantics are
-bit-identical to the straightforward version (the test suite pins the
-engine's flit schedule against golden traces).
+runs once per active link per fixpoint pass per cycle), so its scan only
+visits the *reserved* virtual channels: ``owned_idx`` is a sorted index
+list maintained by :meth:`VirtualChannel.reserve`/``release``, and the
+round-robin start position is located in it with one bisect.  For the
+hop schemes (16+ virtual channels of which a handful are reserved at any
+time) this removes almost the entire scan; the semantics are bit-identical
+to scanning every index and skipping the free ones (the test suite pins
+the engine's flit schedule against golden traces).
+
+The channel also carries the activity-tracked scheduler's bookkeeping:
+``armed_cycle`` stamps the latest cycle at which this channel may possibly
+move a flit (maintained by the engine's event hooks: allocation, ejection,
+arrivals, departures), and ``active_seq`` is the channel's position in the
+engine's insertion-ordered active set, which the event-driven transmit
+phase uses to reproduce the full scan's polling order exactly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from bisect import bisect_left
+from typing import List, Optional
 
 from repro.network.virtual_channel import VirtualChannel
 from repro.topology.base import Link
-
-#: Per-VC-count caches of scan orders, shared by every channel: for count
-#: k, ``_RR_ORDERS[k][s]`` is the round-robin visit order starting at s,
-#: and ``_PRIORITY_ORDERS[k]`` the strict highest-class-first order.
-_RR_ORDERS: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
-_PRIORITY_ORDERS: Dict[int, Tuple[int, ...]] = {}
-
-
-def _scan_orders(count: int) -> Tuple[Tuple[int, ...], ...]:
-    orders = _RR_ORDERS.get(count)
-    if orders is None:
-        orders = tuple(
-            tuple(range(start, count)) + tuple(range(start))
-            for start in range(count)
-        )
-        _RR_ORDERS[count] = orders
-    return orders
-
-
-def _priority_order(count: int) -> Tuple[int, ...]:
-    order = _PRIORITY_ORDERS.get(count)
-    if order is None:
-        order = tuple(range(count - 1, -1, -1))
-        _PRIORITY_ORDERS[count] = order
-    return order
 
 
 class PhysicalChannel:
@@ -56,13 +40,16 @@ class PhysicalChannel:
     __slots__ = (
         "link",
         "vcs",
+        "num_vcs",
         "_rr_next",
-        "_rr_orders",
-        "_prio_order",
+        "owned_idx",
         "owned_count",
         "flits_moved",
         "last_transmit_cycle",
         "retry_hint",
+        "armed_cycle",
+        "active_seq",
+        "queue_cycle",
     )
 
     def __init__(self, link: Link, num_vcs: int, vc_capacity: int) -> None:
@@ -71,9 +58,13 @@ class PhysicalChannel:
             VirtualChannel(link, vc_class, vc_capacity)
             for vc_class in range(num_vcs)
         ]
+        for vc in self.vcs:
+            vc.channel = self
+        self.num_vcs = num_vcs
         self._rr_next = 0  # round-robin scan start
-        self._rr_orders = _scan_orders(num_vcs)
-        self._prio_order = _priority_order(num_vcs)
+        #: Sorted indices of the currently reserved virtual channels,
+        #: maintained by VirtualChannel.reserve/release.
+        self.owned_idx: List[int] = []
         #: Virtual channels currently reserved (drives the active-link set).
         self.owned_count = 0
         #: Lifetime flits moved, for channel-utilization measurement.
@@ -87,9 +78,28 @@ class PhysicalChannel:
         #: with this hint; all other failures are final for the cycle
         #: because settled-flit counts never increase mid-cycle.
         self.retry_hint = False
+        #: Latest cycle at which this channel might move a flit.  The
+        #: activity-tracked scheduler polls a channel at cycle c only when
+        #: ``armed_cycle >= c``; the engine's event hooks bump the stamp
+        #: whenever one of the channel's blocking conditions changes.
+        self.armed_cycle = -1
+        #: Position in the engine's insertion-ordered active set (assigned
+        #: when the channel gains its first reserved virtual channel).
+        self.active_seq = -1
+        #: Last cycle this channel was queued for a transmit poll.  The
+        #: activity-tracked scheduler stamps it when the channel enters a
+        #: poll list, so a mid-cycle event never queues a channel that is
+        #: already scheduled (or already polled) this cycle.
+        self.queue_cycle = -1
 
     def vc(self, vc_class: int) -> VirtualChannel:
         return self.vcs[vc_class]
+
+    def __lt__(self, other: "PhysicalChannel") -> bool:
+        # Heap ordering for the activity-tracked transmit phase: channels
+        # are polled in ascending active-set insertion order, matching
+        # the full scan's iteration order over the active set.
+        return self.active_seq < other.active_seq
 
     def transmit(
         self,
@@ -124,11 +134,15 @@ class PhysicalChannel:
         if self.last_transmit_cycle == cycle:
             return None
         vcs = self.vcs
-        order = (
-            self._prio_order
-            if highest_class_first
-            else self._rr_orders[self._rr_next]
-        )
+        owned = self.owned_idx
+        if highest_class_first:
+            order = reversed(owned)
+        else:
+            start = bisect_left(owned, self._rr_next)
+            if start == 0 or start == len(owned):
+                order = owned
+            else:
+                order = owned[start:] + owned[:start]
         retry_hint = False
         for idx in order:
             vc = vcs[idx]
@@ -176,7 +190,7 @@ class PhysicalChannel:
             self.last_transmit_cycle = cycle
             if not highest_class_first:
                 next_idx = idx + 1
-                self._rr_next = 0 if next_idx == len(vcs) else next_idx
+                self._rr_next = 0 if next_idx == self.num_vcs else next_idx
             return vc
         self.retry_hint = retry_hint
         return None

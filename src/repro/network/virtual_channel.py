@@ -19,10 +19,12 @@ worm advances one flit per channel per cycle.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from bisect import insort
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.message import Message
+    from repro.network.physical_channel import PhysicalChannel
     from repro.topology.base import Link
 
 
@@ -38,9 +40,12 @@ class VirtualChannel:
         "flits_in",
         "flits_out",
         "upstream",
+        "downstream",
         "last_arrival_cycle",
         "last_departure_cycle",
         "flits_carried_total",
+        "channel",
+        "waiters",
     )
 
     def __init__(self, link: "Link", vc_class: int, capacity: int) -> None:
@@ -58,10 +63,22 @@ class VirtualChannel:
         #: Where this channel's flits come from: the owner's previous
         #: virtual channel, or None when fed directly by the source node.
         self.upstream: Optional["VirtualChannel"] = None
+        #: Where the owner's flits go next: the owner's *following* virtual
+        #: channel, or None while this one is the worm's front.  Maintained
+        #: by reserve/release; the activity-tracked scheduler follows it to
+        #: re-arm the consumer of a buffer that just gained a flit.
+        self.downstream: Optional["VirtualChannel"] = None
         self.last_arrival_cycle = -1
         self.last_departure_cycle = -1
         #: Lifetime flit count, for virtual-channel load-balance studies.
         self.flits_carried_total = 0
+        #: Owning physical channel (set by PhysicalChannel.__init__), so
+        #: reservation bookkeeping stays correct no matter who reserves.
+        self.channel: Optional["PhysicalChannel"] = None
+        #: Routing requests parked on this channel by the activity-tracked
+        #: scheduler: (park_epoch, message) pairs re-queued on release.
+        #: None whenever nothing waits (the common case).
+        self.waiters: Optional[List[Tuple[int, "Message"]]] = None
 
     # -- reservation ---------------------------------------------------------
 
@@ -77,12 +94,25 @@ class VirtualChannel:
         self.flits_out = 0
         self.last_arrival_cycle = -1
         self.last_departure_cycle = -1
-        self.upstream = message.path[-1] if message.path else None
+        upstream = message.path[-1] if message.path else None
+        self.upstream = upstream
+        self.downstream = None
+        if upstream is not None:
+            upstream.downstream = self
+        channel = self.channel
+        if channel is not None:
+            insort(channel.owned_idx, self.vc_class)
+            channel.owned_count += 1
 
     def release(self) -> None:
         assert self.occupancy == 0, "releasing a non-empty virtual channel"
         self.owner = None
         self.upstream = None
+        self.downstream = None
+        channel = self.channel
+        if channel is not None:
+            channel.owned_idx.remove(self.vc_class)
+            channel.owned_count -= 1
 
     # -- snapshot-based flit movement ---------------------------------------
 

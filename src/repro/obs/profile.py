@@ -7,24 +7,31 @@ elapsed wall time here.  The profiler only ever runs on the observed
 path — a disabled engine executes zero timing code — and its numbers
 are wall-clock, so they are excluded from anything that must be
 deterministic.
+
+The phase set is configurable: the sweep runner reuses the same
+accumulator with warmup/sampling/gap phases to time whole simulation
+points (``SimulationResult.wall_seconds``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
-#: The engine phases timed by the observed step path.
+#: The engine phases timed by the observed step path (the default set).
 PHASES = ("generation", "ejection", "routing", "transmission", "observe")
 
 
 class PhaseProfiler:
-    """Accumulated wall-time and call counts per engine phase."""
+    """Accumulated wall-time and call counts per phase."""
 
-    __slots__ = ("seconds", "calls")
+    __slots__ = ("phases", "seconds", "calls")
 
-    def __init__(self) -> None:
-        self.seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
-        self.calls: Dict[str, int] = {phase: 0 for phase in PHASES}
+    def __init__(self, phases: Sequence[str] = PHASES) -> None:
+        self.phases = tuple(phases)
+        self.seconds: Dict[str, float] = {
+            phase: 0.0 for phase in self.phases
+        }
+        self.calls: Dict[str, int] = {phase: 0 for phase in self.phases}
 
     def add(self, phase: str, elapsed: float) -> None:
         self.seconds[phase] += elapsed
@@ -39,7 +46,7 @@ class PhaseProfiler:
                 "seconds": self.seconds[phase],
                 "calls": float(self.calls[phase]),
             }
-            for phase in PHASES
+            for phase in self.phases
             if self.calls[phase]
         }
 
@@ -49,7 +56,7 @@ class PhaseProfiler:
         lines: List[str] = [
             f"{'phase':<14}{'calls':>10}{'seconds':>12}{'share':>8}"
         ]
-        for phase in PHASES:
+        for phase in self.phases:
             if not self.calls[phase]:
                 continue
             seconds = self.seconds[phase]

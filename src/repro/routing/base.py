@@ -15,10 +15,11 @@ via :meth:`RoutingAlgorithm.advance`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.topology.base import Link, Topology
 from repro.util.errors import RoutingError
+from repro.util.fingerprint import state_fingerprint
 
 #: A candidate next hop: the physical link plus the virtual-channel class
 #: the message must reserve on it.
@@ -42,6 +43,14 @@ class RoutingAlgorithm(ABC):
 
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
+        # Candidate-set memo: (node, destination, state_key) -> the
+        # RouteChoice tuple candidates() would return.  Filled lazily by
+        # candidates_cached, so the deterministic component of every
+        # algorithm (e-cube order, north-last restrictions, hop-class
+        # thresholds) becomes a static route table after warm-up.
+        self._route_table: Dict[
+            Tuple[int, int, Hashable], Tuple[RouteChoice, ...]
+        ] = {}
 
     # -- resources ---------------------------------------------------------
 
@@ -77,6 +86,51 @@ class RoutingAlgorithm(ABC):
         Raises :class:`RoutingError` if *current* == *dst* — a delivered
         message must not ask for another hop.
         """
+
+    # -- candidate-set memoization ------------------------------------------
+
+    def state_key(self, state: Any) -> Optional[Hashable]:
+        """Hashable fingerprint of the candidate-relevant part of *state*.
+
+        The contract: two states with equal keys must yield equal
+        :meth:`candidates` results at every (current, dst) — the key is
+        what the candidate-set memo (:meth:`candidates_cached`) and the
+        engine's resolved-candidate cache index on.  Returning ``None``
+        disables memoization for this state.
+
+        The default covers stateless algorithms (state ``None``) and any
+        state whose *entire* contents drive the candidate set, via
+        :func:`repro.util.fingerprint.state_fingerprint`.  Algorithms
+        whose candidate sets depend on a projection of their state
+        override this with a smaller (and cheaper) key.
+        """
+        if state is None:
+            return ()
+        key = state_fingerprint(state)
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def candidates_cached(
+        self, state: Any, current: int, dst: int
+    ) -> Sequence[RouteChoice]:
+        """Memoized :meth:`candidates` (see :meth:`state_key`).
+
+        Cache hits return a shared tuple; callers must not mutate it.
+        States without a key fall through to a fresh ``candidates`` call.
+        """
+        key = self.state_key(state)
+        if key is None:
+            return self.candidates(state, current, dst)
+        table = self._route_table
+        entry = (current, dst, key)
+        cached = table.get(entry)
+        if cached is None:
+            cached = tuple(self.candidates(state, current, dst))
+            table[entry] = cached
+        return cached
 
     # -- congestion control ----------------------------------------------------
 

@@ -20,7 +20,7 @@ the virtual-channel *class* is constrained.
 from __future__ import annotations
 
 from abc import abstractmethod
-from typing import Any, Hashable, List, Sequence, Tuple
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
 from repro.routing.base import RouteChoice, RoutingAlgorithm
 from repro.topology.base import Link, Topology
@@ -91,6 +91,10 @@ class HopClassScheme(RoutingAlgorithm):
     ) -> _HopState:
         state.vc_class = self.class_after_hop(vc_class, current)
         return state
+
+    def state_key(self, state: _HopState) -> Optional[Hashable]:
+        """Candidates depend only on the class pointer."""
+        return (state.vc_class,)
 
     # -- congestion control -----------------------------------------------------
 

@@ -17,7 +17,7 @@ wrapped graphs stay acyclic for the base algorithms that are acyclic).
 
 from __future__ import annotations
 
-from typing import Any, Hashable, List
+from typing import Any, Hashable, List, Optional
 
 from repro.routing.base import RouteChoice, RoutingAlgorithm
 from repro.topology.base import Link, Topology
@@ -44,6 +44,10 @@ class MultiLane(RoutingAlgorithm):
 
     def new_state(self, src: int, dst: int) -> Any:
         return self.inner.new_state(src, dst)
+
+    def state_key(self, state: Any) -> Optional[Hashable]:
+        """Lane expansion is stateless: the inner key is the whole key."""
+        return self.inner.state_key(state)
 
     def candidates(
         self, state: Any, current: int, dst: int

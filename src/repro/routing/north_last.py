@@ -32,7 +32,7 @@ machine-checks this on small tori.
 
 from __future__ import annotations
 
-from typing import Hashable, List
+from typing import Hashable, List, Optional
 
 from repro.routing.base import RouteChoice, RoutingAlgorithm
 from repro.topology.base import Link, Topology
@@ -90,6 +90,10 @@ class NorthLast(RoutingAlgorithm):
         if link.wraps:
             state.wraps += 1
         return state
+
+    def state_key(self, state: _NorthLastState) -> Optional[Hashable]:
+        """Candidates depend only on the mode and wrap count."""
+        return (state.ecube_order, state.wraps)
 
     def candidates(
         self, state: _NorthLastState, current: int, dst: int

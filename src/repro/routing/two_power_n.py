@@ -17,7 +17,7 @@ Free tag bits are set to 0 here; the paper leaves the choice open.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, List
+from typing import Hashable, List, Optional
 
 from repro.routing.base import RouteChoice, RoutingAlgorithm
 from repro.topology.base import Topology
@@ -49,6 +49,10 @@ class TwoPowerN(RoutingAlgorithm):
 
     def new_state(self, src: int, dst: int) -> int:
         return self.compute_tag(src, dst)
+
+    def state_key(self, state: int) -> Optional[Hashable]:
+        """The tag is the whole candidate-relevant state."""
+        return state
 
     def candidates(
         self, state: int, current: int, dst: int

@@ -36,6 +36,13 @@ FLOW_CONTROL_MODES = ("ideal", "conservative")
 #: Physical-channel multiplexer policies.
 MUX_POLICIES = ("round_robin", "highest_class")
 
+#: Engine cycle schedulers: "scan" re-examines every queued message and
+#: active channel each cycle (the seed engine's strategy); "active" is the
+#: event-driven scheduler that re-examines a blocked resource only when a
+#: condition it waits on changes.  Bit-identical flit schedules either way
+#: (pinned by the golden-trace tests).
+SCHEDULERS = ("scan", "active")
+
 
 @dataclass
 class SimulationConfig:
@@ -72,6 +79,12 @@ class SimulationConfig:
     #: model); "highest_class" is a strict priority scan from the top
     #: class down, giving the most-progressed worms bandwidth first.
     mux_policy: str = "round_robin"
+    #: Engine cycle scheduler: "active" (default) re-examines only the
+    #: virtual channels, muxes and routing requests whose blocking
+    #: conditions may have changed (several times faster in the congested
+    #: regime); "scan" is the seed engine's full per-cycle rescan.  The
+    #: flit schedule is bit-identical either way (golden-trace tests).
+    scheduler: str = "active"
 
     # -- traffic ------------------------------------------------------------
     traffic: str = "uniform"
@@ -130,6 +143,9 @@ class SimulationConfig:
         require(self.mux_policy in MUX_POLICIES,
                 f"mux_policy must be one of {MUX_POLICIES}, "
                 f"got {self.mux_policy!r}")
+        require(self.scheduler in SCHEDULERS,
+                f"scheduler must be one of {SCHEDULERS}, "
+                f"got {self.scheduler!r}")
         require_positive(self.message_length, "message_length")
         require_non_negative(self.offered_load, "offered_load")
         require_positive(self.warmup_cycles, "warmup_cycles")
@@ -184,4 +200,9 @@ class SimulationConfig:
         )
 
 
-__all__ = ["SELECTION_POLICIES", "SWITCHING_MODES", "SimulationConfig"]
+__all__ = [
+    "SCHEDULERS",
+    "SELECTION_POLICIES",
+    "SWITCHING_MODES",
+    "SimulationConfig",
+]

@@ -35,9 +35,21 @@ algorithms (it is exercised in the test suite with one of those).
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from collections import deque
+from heapq import heappop, heappush
+from operator import attrgetter
 from time import perf_counter
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
@@ -57,6 +69,7 @@ from repro.traffic.arrivals import GeometricArrivals
 from repro.traffic.base import TrafficPattern
 from repro.traffic.load import offered_load_to_rate
 from repro.util.errors import ConfigurationError, DeadlockError
+from repro.util.fingerprint import state_fingerprint as route_state_fingerprint
 from repro.util.rng import (
     STREAM_ARRIVALS,
     STREAM_DESTINATIONS,
@@ -66,6 +79,9 @@ from repro.util.rng import (
 
 #: A routing candidate resolved to runtime objects.
 _Candidate = Tuple[VirtualChannel, PhysicalChannel]
+
+#: Sort key for re-poll lists (ascending active-set insertion order).
+_BY_ACTIVE_SEQ = attrgetter("active_seq")
 
 
 class Engine:
@@ -136,6 +152,41 @@ class Engine:
         self._active_channels: Dict[PhysicalChannel, None] = {}
         self._delivering: List[VirtualChannel] = []
         self._last_progress = 0
+        # Scheduler selection (config.scheduler).  "scan" keeps the seed
+        # code paths exactly: _route drains a FIFO deque and _transmit
+        # polls every active channel each cycle.  "active" (the default)
+        # is the activity-tracked scheduler: routing requests live in a
+        # min-heap ordered by enqueue sequence (same service order as the
+        # FIFO), blocked messages park on their candidate VCs' waiter
+        # lists until a release wakes them, and transmission polls only
+        # channels *armed* by an event that could have made them ready
+        # (allocation, a flit arrival/departure on an adjacent VC, an
+        # ejection).  Both produce bit-identical flit schedules; the
+        # golden-trace and fuzz tests pin that equivalence.
+        self._active_scheduler = config.scheduler == "active"
+        self._route_heap: List[Tuple[int, Message]] = []
+        self._route_seq = 0
+        self._parked: Dict[int, Message] = {}
+        self._next_active_seq = 0
+        # Engine-level memo of resolved candidate sets, keyed by
+        # (head node, destination, algorithm state key); only consulted
+        # by the active scheduler so "scan" stays the seed path.
+        self._resolved_cache: Dict[
+            Tuple[int, int, Hashable], Tuple[_Candidate, ...]
+        ] = {}
+        if self._active_scheduler:
+            self._route_pending = self._route_heap
+            self._route_step = self._route_active
+            self._transmit_step = self._transmit_active
+        else:
+            self._route_pending = self._route_queue
+            self._route_step = self._route
+            self._transmit_step = self._transmit
+        # Parking requires that nobody needs to see a blocked message
+        # every cycle: the sanitizer and the observer both register
+        # per-cycle blocked events, so parking turns off while either is
+        # attached (attach_observer/detach_observer keep this current).
+        self._parking = self._active_scheduler and self.sanitizer is None
         # Hot-path caches: the channel array (so _release and
         # _compute_candidates skip two attribute hops) and the named rng
         # streams (so per-cycle phases skip the stream-dictionary lookup;
@@ -190,10 +241,10 @@ class Engine:
             # buffers before this cycle's link transfers, so the final hop
             # streams at full rate just like every other hop.
             progressed |= self._eject()
-        if self._route_queue:
-            progressed |= self._route()
+        if self._route_pending:
+            progressed |= self._route_step()
         if self._active_channels:
-            progressed |= self._transmit()
+            progressed |= self._transmit_step()
         if progressed:
             self._last_progress = self.cycle
         elif (
@@ -222,22 +273,22 @@ class Engine:
                 t0 = perf_counter()
                 progressed |= self._eject()
                 profiler.add("ejection", perf_counter() - t0)
-            if self._route_queue:
+            if self._route_pending:
                 t0 = perf_counter()
-                progressed |= self._route()
+                progressed |= self._route_step()
                 profiler.add("routing", perf_counter() - t0)
             if self._active_channels:
                 t0 = perf_counter()
-                progressed |= self._transmit()
+                progressed |= self._transmit_step()
                 profiler.add("transmission", perf_counter() - t0)
         else:
             self._generate_arrivals()
             if self._delivering:
                 progressed |= self._eject()
-            if self._route_queue:
-                progressed |= self._route()
+            if self._route_pending:
+                progressed |= self._route_step()
             if self._active_channels:
-                progressed |= self._transmit()
+                progressed |= self._transmit_step()
         if progressed:
             self._last_progress = self.cycle
         elif (
@@ -308,6 +359,13 @@ class Engine:
             )
         observer.bind(self)
         self._obs = observer
+        # The observer's on_message_blocked hook must fire every cycle a
+        # message stays blocked, so parking (which skips those re-polls)
+        # turns off — and any already-parked message returns to the heap.
+        if self._parking:
+            self._parking = False
+            if self._parked:
+                self._unpark_all()
         if observer.trace_flit_moves:
             inner = self._handle_flit_arrival
 
@@ -323,6 +381,7 @@ class Engine:
         self._obs = None
         # Remove the flit-arrival shadow, if tracing installed one.
         self.__dict__.pop("_handle_flit_arrival", None)
+        self._parking = self._active_scheduler and self.sanitizer is None
         return observer
 
     # -- sampling --------------------------------------------------------
@@ -416,7 +475,7 @@ class Engine:
         self._msg_counter += 1
         self.generated_total += 1
         self.in_flight += 1
-        self._route_queue.append(message)
+        self._enqueue_route(message)
         if self._obs is not None:
             self._obs.on_message_created(self, message)
         return True
@@ -424,6 +483,144 @@ class Engine:
     # ------------------------------------------------------------------
     # phase 2: routing / virtual-channel allocation
     # ------------------------------------------------------------------
+
+    def _enqueue_route(self, message: Message) -> None:
+        """Hand *message* to the routing phase (scheduler-appropriate)."""
+        if self._active_scheduler:
+            seq = self._route_seq
+            self._route_seq = seq + 1
+            message.route_seq = seq
+            # Sequence numbers are strictly increasing, so the new entry
+            # is >= everything in the heap and heappush is O(1) here.
+            heappush(self._route_heap, (seq, message))
+        else:
+            self._route_queue.append(message)
+
+    def _route_active(self) -> bool:
+        """Routing phase of the activity-tracked scheduler.
+
+        Serves requests in ascending enqueue sequence — exactly the FIFO
+        order of the scan scheduler, because a deque processed with
+        ``for _ in range(len(queue))`` also handles each message once per
+        cycle in most-recent-enqueue order.  A message with no free
+        candidate parks on its candidates' waiter lists (when parking is
+        on) instead of being re-polled every cycle; _wake_waiters puts it
+        back with its original sequence number, so the service order
+        after a wake is identical to the scan scheduler's queue order.
+        """
+        heap = self._route_heap
+        batch = sorted(heap)  # unique seqs: messages never compared
+        heap.clear()
+        policy = self.config.selection_policy
+        rng = self._rng_routing
+        sanitizer = self.sanitizer
+        obs = self._obs
+        parking = self._parking
+        progressed = False
+        for entry in batch:
+            message = entry[1]
+            candidates = message.cached_candidates
+            if candidates is None:
+                candidates = self._memo_candidates(message)
+                message.cached_candidates = candidates
+            chosen = self._select(candidates, policy, rng)
+            if chosen is None:
+                if parking:
+                    self._park(message, candidates)
+                    continue
+                if sanitizer is not None:
+                    sanitizer.record_blocked(
+                        message,
+                        [
+                            (vc.link.index, vc.vc_class)
+                            for vc, _ in candidates
+                        ],
+                    )
+                if obs is not None:
+                    obs.on_message_blocked(self, message, candidates)
+                heappush(heap, entry)  # retry next cycle
+                continue
+            if sanitizer is not None:
+                sanitizer.clear(message.msg_id)
+            self._allocate(message, chosen)
+            if obs is not None:
+                obs.on_vc_acquired(self, message, chosen[0])
+            progressed = True
+        return progressed
+
+    def _park(
+        self, message: Message, candidates: Sequence[_Candidate]
+    ) -> None:
+        """Shelve a blocked message until a candidate VC is released.
+
+        A blocked message consumes no rng (the free filter in _select
+        returns before any randrange when nothing is free), so skipping
+        its re-polls cannot perturb the random stream — parking is
+        invisible to the flit schedule.  Waiter entries carry a parking
+        epoch; stale entries from an earlier park of the same message
+        are ignored at wake time rather than eagerly removed.
+        """
+        epoch = message.park_epoch + 1
+        message.park_epoch = epoch
+        message.parked = True
+        self._parked[message.msg_id] = message
+        for vc, _ in candidates:
+            waiters = vc.waiters
+            if waiters is None:
+                vc.waiters = [(epoch, message)]
+            else:
+                waiters.append((epoch, message))
+
+    def _wake_waiters(self, vc: VirtualChannel) -> None:
+        """A VC was released: requeue every message parked on it."""
+        waiters = vc.waiters
+        vc.waiters = None
+        heap = self._route_heap
+        parked = self._parked
+        for epoch, message in waiters:  # type: ignore[union-attr]
+            if message.parked and message.park_epoch == epoch:
+                message.parked = False
+                del parked[message.msg_id]
+                heappush(heap, (message.route_seq, message))
+
+    def _unpark_all(self) -> None:
+        """Return every parked message to the heap (observer attach)."""
+        heap = self._route_heap
+        for message in self._parked.values():
+            message.parked = False
+            heappush(heap, (message.route_seq, message))
+        self._parked.clear()
+        # Waiter-list entries left behind are invalidated by the parked
+        # flag / epoch check in _wake_waiters.
+
+    def _memo_candidates(self, message: Message) -> Sequence[_Candidate]:
+        """Resolved candidates via the engine-level memo table.
+
+        Algorithms expose a hashable digest of the candidate-relevant
+        part of their route state (state_key); when available, the
+        resolved (VirtualChannel, PhysicalChannel) tuple for a given
+        (position, destination, digest) is computed once per engine.
+        """
+        algorithm = self.algorithm
+        key = algorithm.state_key(message.route_state)
+        if key is None:
+            return self._compute_candidates(message)
+        cache = self._resolved_cache
+        path = message.path
+        node = path[-1].link.dst if path else message.src
+        entry = (node, message.dst, key)
+        resolved = cache.get(entry)
+        if resolved is None:
+            choices = algorithm.candidates_cached(
+                message.route_state, node, message.dst
+            )
+            channels = self._channels
+            resolved = tuple(
+                (channels[link.index].vcs[vc_class], channels[link.index])
+                for link, vc_class in choices
+            )
+            cache[entry] = resolved
+        return resolved
 
     def _route(self) -> bool:
         queue = self._route_queue
@@ -473,7 +670,7 @@ class Engine:
 
     def _select(
         self,
-        candidates: List[_Candidate],
+        candidates: Sequence[_Candidate],
         policy: str,
         rng: random.Random,
     ) -> Optional[_Candidate]:
@@ -515,10 +712,15 @@ class Engine:
     def _allocate(self, message: Message, chosen: _Candidate) -> None:
         vc, channel = chosen
         current = message.head_node  # before the new hop is appended
-        vc.reserve(message)  # captures the upstream VC from message.path
-        channel.owned_count += 1
+        # reserve() captures the upstream VC from message.path and keeps
+        # the channel's owned_count / owned_idx bookkeeping.
+        vc.reserve(message)
         if channel.owned_count == 1:
+            channel.active_seq = self._next_active_seq
+            self._next_active_seq += 1
             self._active_channels[channel] = None
+        if channel.armed_cycle < self.cycle:
+            channel.armed_cycle = self.cycle
         message.path.append(vc)
         message.route_state = self.algorithm.advance(
             message.route_state, current, vc.link, vc.vc_class
@@ -563,6 +765,297 @@ class Engine:
         self.flits_moved_total += moved
         return moved > 0
 
+    def _transmit_active(self) -> bool:
+        """Transmission phase of the activity-tracked scheduler.
+
+        Polls only channels *armed* for the current cycle instead of the
+        whole active set.  A channel is armed by every event that can
+        change one of its blocking conditions: gaining a reserved VC
+        (_allocate), an ejection freeing space in one of its target VCs
+        (_eject), and — below — a flit departure freeing space one hop
+        back or a flit arrival giving the next hop something to forward.
+        The arming-event enumeration is complete (settled-flit counts
+        only change at cycle boundaries, via exactly these events), so an
+        unarmed channel's poll would fail; skipping it is unobservable.
+
+        Within the cycle, successes happen in ascending active-set order
+        — the full scan's order — because the armed subset is drained
+        through a min-heap keyed on ``active_seq``, and a move that could
+        unblock a channel mid-cycle (ideal flow control / SAF assembly)
+        splices that channel into the current pass when its turn is still
+        ahead, or into the next fixpoint pass when it already went.  That
+        reproduces the scan fixpoint's poll outcomes exactly, modulo
+        polls that fail with no side effect.
+
+        The per-channel poll is :meth:`PhysicalChannel.transmit` fused
+        inline (the scan scheduler still calls the method, and the
+        golden-trace identity tests pin the two code paths against each
+        other), so the arming predicates and the arrival bookkeeping can
+        reuse the values the poll just loaded instead of re-reading
+        half a dozen attribute chains per flit.  One flit per channel
+        per cycle needs no explicit guard here: a successful poll clears
+        the channel from every poll list for the rest of the cycle (the
+        queue_cycle/last_transmit_cycle splice guards below), so a
+        channel is never polled again after it moved.
+        """
+        saf = self._saf
+        ideal = self._ideal
+        priority = self._highest_class_first
+        cycle = self.cycle
+        next_cycle = cycle + 1
+        moved = 0
+        # Flit tracing shadows _handle_flit_arrival with an instance
+        # attribute; use it instead of the fused arrival epilogue so the
+        # observer hook keeps firing per flit.
+        traced = self.__dict__.get("_handle_flit_arrival")
+        controller = self.controller
+        delivering = self._delivering
+        # The active set is insertion-ordered by ascending active_seq, so
+        # the armed subset is already sorted in the scan's polling order.
+        pending: List[PhysicalChannel] = []
+        append_pending = pending.append
+        for channel in self._active_channels:
+            if channel.armed_cycle >= cycle:
+                channel.queue_cycle = cycle
+                append_pending(channel)
+        # Channels spliced into the *current* pass by a mid-pass event,
+        # ahead of the poll position.  Almost always empty, so the inner
+        # loop degrades to a plain list walk.
+        aux: List[Tuple[int, PhysicalChannel]] = []
+        while True:
+            progress = False
+            retry: List[PhysicalChannel] = []
+            i = 0
+            n = len(pending)
+            while i < n or aux:
+                if aux and (
+                    i >= n or aux[0][0] < pending[i].active_seq
+                ):
+                    channel = heappop(aux)[1]
+                else:
+                    channel = pending[i]
+                    i += 1
+                channel.queue_cycle = -1  # no longer scheduled
+                # -- PhysicalChannel.transmit, fused ------------------
+                # The round-robin rotation walks owned_idx with a
+                # wrapping cursor instead of materializing the rotated
+                # list the method version builds (same visit order, no
+                # per-poll allocation).
+                vcs = channel.vcs
+                owned = channel.owned_idx
+                m = channel.owned_count
+                if priority:
+                    # Strict priority: top virtual-channel class down.
+                    pos = m - 1
+                    step = -1
+                else:
+                    step = 1
+                    if m == 1:
+                        pos = 0
+                    else:
+                        pos = bisect_left(owned, channel._rr_next)
+                        if pos == m:
+                            pos = 0
+                for _ in range(m):
+                    idx = owned[pos]
+                    pos += step
+                    if pos == m:
+                        pos = 0
+                    vc = vcs[idx]
+                    owner = vc.owner
+                    if owner is None:
+                        # Free (skipped), or see the tail-guard below.
+                        continue
+                    owner_len = owner.length
+                    f_in = vc.flits_in
+                    if f_in >= owner_len:
+                        # Whole worm already passed through: vc.upstream
+                        # may be reused by another message, so this guard
+                        # must come before any upstream access.
+                        continue
+                    occupancy = vc.occupancy
+                    cap = vc.capacity
+                    if ideal:
+                        if occupancy >= cap:
+                            continue
+                    elif (
+                        # had_space(cycle), inlined.
+                        occupancy
+                        - (vc.last_arrival_cycle == cycle)
+                        + (vc.last_departure_cycle == cycle)
+                        >= cap
+                    ):
+                        continue
+                    upstream = vc.upstream
+                    if upstream is None:
+                        inject_left = owner.flits_to_inject
+                        if inject_left <= 0:
+                            continue
+                        owner.flits_to_inject = inject_left - 1
+                        up_occ = up_fin = up_fout = 0
+                    else:
+                        up_occ = upstream.occupancy
+                        # settled_flits(cycle) <= 0, inlined.
+                        if (
+                            up_occ
+                            - (upstream.last_arrival_cycle == cycle)
+                            <= 0
+                        ):
+                            continue
+                        up_fin = upstream.flits_in
+                        if saf and up_fin < owner_len:
+                            continue
+                        up_occ -= 1
+                        upstream.occupancy = up_occ
+                        up_fout = upstream.flits_out + 1
+                        upstream.flits_out = up_fout
+                        upstream.last_departure_cycle = cycle
+                    occupancy += 1
+                    vc.occupancy = occupancy
+                    f_in += 1
+                    vc.flits_in = f_in
+                    vc.last_arrival_cycle = cycle
+                    vc.flits_carried_total += 1
+                    channel.flits_moved += 1
+                    channel.last_transmit_cycle = cycle
+                    if not priority:
+                        next_idx = idx + 1
+                        channel._rr_next = (
+                            0 if next_idx == channel.num_vcs else next_idx
+                        )
+                    break
+                else:
+                    # No ready VC.  Unlike the scan fixpoint (which
+                    # re-polls every channel that failed on buffer space
+                    # or assembly), same-cycle retries here are purely
+                    # event-driven: a failed channel is re-queued below
+                    # exactly when a move frees its space or completes
+                    # its packet, and the scan's extra re-polls are
+                    # no-ops without such an event — so the success
+                    # sequence is unchanged.
+                    continue
+                # -- move epilogue: event hooks + arrival bookkeeping --
+                progress = True
+                moved += 1
+                # Re-arm this channel for next cycle only if the VC that
+                # just moved can move again (more flits upstream, buffer
+                # space, assembly done) or other reserved VCs share the
+                # channel.  Every skipped condition is re-established
+                # only by an event that re-arms the channel itself.
+                if channel.owned_count > 1 or (
+                    f_in < owner_len
+                    and occupancy < cap
+                    and (
+                        inject_left > 1
+                        if upstream is None
+                        else (
+                            up_occ > 0
+                            and (not saf or up_fin >= owner_len)
+                        )
+                    )
+                ):
+                    channel.armed_cycle = next_cycle
+                if upstream is not None:
+                    # The departed flit freed a slot in *upstream*: the
+                    # channel feeding it may move next cycle — or this
+                    # one, under ideal flow control.  Queue it unless it
+                    # is already scheduled this cycle or already took
+                    # its one move.
+                    up_ch = upstream.channel
+                    uu = upstream.upstream
+                    if up_ch.armed_cycle < next_cycle and (
+                        up_ch.owned_count > 1
+                        or (
+                            up_fin < owner_len
+                            and (
+                                owner.flits_to_inject > 0
+                                if uu is None
+                                else (
+                                    uu.occupancy > 0
+                                    and (
+                                        not saf
+                                        or uu.flits_in >= owner_len
+                                    )
+                                )
+                            )
+                        )
+                    ):
+                        up_ch.armed_cycle = next_cycle
+                    if (
+                        ideal
+                        and up_ch.queue_cycle != cycle
+                        and up_ch.last_transmit_cycle != cycle
+                    ):
+                        up_ch.queue_cycle = cycle
+                        up_seq = up_ch.active_seq
+                        if up_seq > channel.active_seq:
+                            heappush(aux, (up_seq, up_ch))
+                        else:
+                            retry.append(up_ch)
+                downstream = vc.downstream
+                if downstream is not None:
+                    # The arrived flit settles next cycle for the channel
+                    # forwarding out of *vc*; under SAF it may also have
+                    # completed packet assembly, a condition the scan
+                    # fixpoint lets take effect within the cycle (same
+                    # pass if the consumer's turn is still ahead, next
+                    # pass under ideal flow control otherwise).
+                    down_ch = downstream.channel
+                    if down_ch.armed_cycle < next_cycle and (
+                        down_ch.owned_count > 1
+                        or (
+                            downstream.flits_in < owner_len
+                            and downstream.occupancy
+                            < downstream.capacity
+                            and (not saf or f_in >= owner_len)
+                        )
+                    ):
+                        down_ch.armed_cycle = next_cycle
+                    if (
+                        saf
+                        and down_ch.queue_cycle != cycle
+                        and down_ch.last_transmit_cycle != cycle
+                    ):
+                        down_seq = down_ch.active_seq
+                        if down_seq > channel.active_seq:
+                            down_ch.queue_cycle = cycle
+                            heappush(aux, (down_seq, down_ch))
+                        elif ideal:
+                            down_ch.queue_cycle = cycle
+                            retry.append(down_ch)
+                # After the arming reads (a release below would clear the
+                # upstream/downstream links read above):
+                # _handle_flit_arrival, fused, on the poll's locals.
+                if traced is not None:
+                    traced(vc)
+                    continue
+                if vc is owner.path[-1] and vc.link.dst != owner.dst:
+                    # The worm's front advanced into an intermediate
+                    # router: request the next channel once the router
+                    # has seen the head flit (wormhole/VCT) or the whole
+                    # packet (SAF).
+                    if f_in == (owner_len if saf else 1):
+                        self._enqueue_route(owner)
+                elif vc.link.dst == owner.dst and f_in == 1:
+                    delivering.append(vc)
+                if upstream is None:
+                    if inject_left == 1:  # flits_to_inject hit zero
+                        controller.injection_complete(
+                            owner.src, owner.msg_class
+                        )
+                elif up_occ == 0 and up_fout >= owner_len:
+                    # upstream.drained, inlined.
+                    self._release(upstream, owner)
+            if not ideal or not progress or not retry:
+                break
+            # attrgetter key: C-level extraction instead of one Python
+            # __lt__ call per comparison (seqs are unique, so the order
+            # is the same either way).
+            retry.sort(key=_BY_ACTIVE_SEQ)
+            pending = retry
+        self.flits_moved_total += moved
+        return moved > 0
+
     def _handle_flit_arrival(self, vc: VirtualChannel) -> None:
         owner = vc.owner
         if vc is owner.path[-1] and vc.link.dst != owner.dst:
@@ -571,7 +1064,7 @@ class Engine:
             # head flit (wormhole/VCT) or the whole packet (SAF).
             trigger = owner.length if self._saf else 1
             if vc.flits_in == trigger:
-                self._route_queue.append(owner)
+                self._enqueue_route(owner)
         elif vc.link.dst == owner.dst and vc.flits_in == 1:
             self._delivering.append(vc)
         upstream = vc.upstream
@@ -603,6 +1096,14 @@ class Engine:
                 vc.flits_out += flits
                 owner.flits_ejected += flits
                 ejected_any = True
+                # Space freed at the destination: the channel feeding
+                # this VC may move again this very cycle (ejection runs
+                # before transmission, and _eject leaves
+                # last_departure_cycle untouched so even conservative
+                # flow control sees the slots immediately).
+                channel = vc.channel
+                if channel.armed_cycle < cycle:
+                    channel.armed_cycle = cycle
             if owner.flits_ejected >= owner.length:
                 self._complete(vc, owner)
             else:
@@ -631,15 +1132,24 @@ class Engine:
     def _release(self, vc: VirtualChannel, owner: Message) -> None:
         assert owner.path[0] is vc, "releasing out of tail order"
         owner.path.popleft()
+        # release() keeps the channel's owned_count / owned_idx current.
         vc.release()
-        channel = self._channels[vc.link.index]
-        channel.owned_count -= 1
+        channel = vc.channel
         if channel.owned_count == 0:
             self._active_channels.pop(channel, None)
+        if vc.waiters is not None:
+            self._wake_waiters(vc)
 
     def _report_deadlock(self) -> None:
         stuck = []
-        for message in list(self._route_queue)[:8]:
+        if self._active_scheduler:
+            waiting: List[Message] = [
+                entry[1] for entry in sorted(self._route_heap)
+            ]
+            waiting.extend(self._parked.values())
+        else:
+            waiting = list(self._route_queue)
+        for message in waiting[:8]:
             stuck.append(
                 f"msg#{message.msg_id} {message.src}->{message.dst} "
                 f"head at {message.head_node}"
@@ -693,12 +1203,101 @@ class Engine:
             if message.msg_id not in seen:
                 seen.add(message.msg_id)
                 yield message
+        for _, message in self._route_heap:
+            if message.msg_id not in seen:
+                seen.add(message.msg_id)
+                yield message
+        for message in self._parked.values():
+            if message.msg_id not in seen:
+                seen.add(message.msg_id)
+                yield message
         for channel in self._active_channels:
             for vc in channel.vcs:
                 owner = vc.owner
                 if owner is not None and owner.msg_id not in seen:
                     seen.add(owner.msg_id)
                     yield owner
+
+    def state_fingerprint(self) -> Tuple:
+        """Hashable digest of the engine's complete dynamic state.
+
+        Two engines driven through the same configuration must agree on
+        this no matter which scheduler ran them — it is the equivalence
+        oracle of the scan-vs-active fuzz tests.  Scheduler-internal
+        bookkeeping (armed stamps, retry hints, waiter lists, parking
+        epochs) is deliberately excluded; everything that can influence
+        future simulated behaviour is included, down to the rng stream
+        states and the round-robin pointers of every channel.
+        """
+        channels_fp = tuple(
+            (
+                channel.flits_moved,
+                channel._rr_next,
+                channel.last_transmit_cycle,
+                tuple(
+                    (
+                        vc.vc_class,
+                        vc.owner.msg_id if vc.owner is not None else None,
+                        vc.occupancy,
+                        vc.flits_in,
+                        vc.flits_out,
+                        vc.last_arrival_cycle,
+                        vc.last_departure_cycle,
+                        vc.flits_carried_total,
+                    )
+                    for vc in channel.vcs
+                    if vc.owner is not None or vc.flits_carried_total
+                ),
+            )
+            for channel in self._channels
+        )
+        if self._active_scheduler:
+            pending = sorted(
+                [entry[1].msg_id for entry in self._route_heap]
+                + list(self._parked)
+            )
+        else:
+            pending = sorted(
+                message.msg_id for message in self._route_queue
+            )
+        messages_fp = tuple(
+            sorted(
+                (
+                    message.msg_id,
+                    message.src,
+                    message.dst,
+                    message.created_at,
+                    message.flits_to_inject,
+                    message.flits_ejected,
+                    message.head_node,
+                    route_state_fingerprint(message.route_state),
+                )
+                for message in self._iter_live_messages()
+            )
+        )
+        delivering = tuple(
+            (vc.link.index, vc.vc_class) for vc in self._delivering
+        )
+        controller = self.controller
+        return (
+            self.cycle,
+            self._msg_counter,
+            self.flits_moved_total,
+            self.generated_total,
+            self.delivered_total,
+            self.in_flight,
+            self.arrivals.next_due,
+            controller.admitted,
+            controller.refused,
+            tuple(sorted(controller._outstanding.items())),
+            tuple(pending),
+            messages_fp,
+            delivering,
+            channels_fp,
+            self.rng.stream(STREAM_ARRIVALS).getstate(),
+            self.rng.stream(STREAM_DESTINATIONS).getstate(),
+            self.rng.stream(STREAM_ROUTING).getstate(),
+        )
 
 
 __all__ = ["Engine"]

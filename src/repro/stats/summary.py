@@ -55,6 +55,11 @@ class SimulationResult:
     #: point ran with ``SimulationConfig.obs=True``; carried into sweep
     #: checkpoint files.
     obs_metrics: Optional[Dict[str, Any]] = None
+    #: Wall-clock seconds this point took to simulate (warmup + samples +
+    #: gaps), set by the sweep runner.  Excluded from equality on purpose:
+    #: serial and parallel sweeps promise bit-identical *simulated*
+    #: results, while wall time is machine noise.
+    wall_seconds: Optional[float] = field(default=None, compare=False)
     #: Extra context (profile name, switching mode, ...).
     notes: Optional[str] = None
 
@@ -135,12 +140,16 @@ class SimulationResult:
 
     def __str__(self) -> str:
         status = "converged" if self.converged else "NOT converged"
+        timing = ""
+        if self.wall_seconds:
+            rate = self.cycles_simulated / self.wall_seconds
+            timing = f" [{self.wall_seconds:.2f}s, {rate:,.0f} cyc/s]"
         return (
             f"{self.algorithm}/{self.traffic} offered={self.offered_load:.2f}"
             f" -> latency={self.average_latency:.1f}"
             f" (+/-{self.latency_error_bound:.1f})"
             f" util={self.achieved_utilization:.3f}"
-            f" [{self.samples_used} samples, {status}]"
+            f" [{self.samples_used} samples, {status}]{timing}"
         )
 
 

@@ -65,6 +65,16 @@ class Topology(ABC):
             node_to_coords(node, radix, n_dims)
             for node in range(self.num_nodes)
         ]
+        # Parity is consulted per hop by the negative-hop schemes, so it
+        # is a table lookup rather than a per-call coordinate sum.
+        self._parity_cache: List[int] = [
+            parity(coords) for coords in self._coords_cache
+        ]
+        # Lazily filled (src, dst) -> minimal hop count memo: distance is
+        # recomputed for the same pairs throughout a run (message
+        # creation, hop-scheme class budgets), and the pair space is
+        # small (num_nodes**2 worst case, only visited pairs stored).
+        self._distance_cache: Dict[Tuple[int, int], int] = {}
         self._build_links()
 
     # -- construction -----------------------------------------------------
@@ -119,7 +129,7 @@ class Topology(ABC):
 
     def parity(self, node: int) -> int:
         """0 for even nodes, 1 for odd nodes (coordinate-sum parity)."""
-        return parity(self._coords_cache[node])
+        return self._parity_cache[node]
 
     @abstractmethod
     def dim_distance(self, src: int, dst: int, dim: int) -> int:
@@ -133,9 +143,14 @@ class Topology(ABC):
 
     def distance(self, src: int, dst: int) -> int:
         """Minimal hop count between two nodes."""
-        return sum(
+        cached = self._distance_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        total = sum(
             self.dim_distance(src, dst, dim) for dim in range(self.n_dims)
         )
+        self._distance_cache[(src, dst)] = total
+        return total
 
     @property
     @abstractmethod

@@ -42,14 +42,16 @@ SEED_GOLDEN_MODES = {
 
 
 class TestGoldenTraces:
+    @pytest.mark.parametrize("scheduler", ["scan", "active"])
     @pytest.mark.parametrize("algorithm", sorted(SEED_GOLDEN_TRACES))
-    def test_algorithm_trace_matches_seed_engine(self, algorithm):
+    def test_algorithm_trace_matches_seed_engine(self, algorithm, scheduler):
         config = SimulationConfig(
             radix=6,
             n_dims=2,
             algorithm=algorithm,
             offered_load=0.5,
             seed=7,
+            scheduler=scheduler,
         )
         engine = Engine(config)
         engine.run_cycles(3000)
@@ -61,11 +63,12 @@ class TestGoldenTraces:
         assert trace == SEED_GOLDEN_TRACES[algorithm]
         assert engine.conservation_check()
 
+    @pytest.mark.parametrize("scheduler", ["scan", "active"])
     @pytest.mark.parametrize(
         "switching,flow_control,mux_policy", sorted(SEED_GOLDEN_MODES)
     )
     def test_mode_trace_matches_seed_engine(
-        self, switching, flow_control, mux_policy
+        self, switching, flow_control, mux_policy, scheduler
     ):
         config = SimulationConfig(
             radix=4,
@@ -76,6 +79,7 @@ class TestGoldenTraces:
             switching=switching,
             flow_control=flow_control,
             mux_policy=mux_policy,
+            scheduler=scheduler,
         )
         engine = Engine(config)
         engine.run_cycles(2000)
@@ -96,14 +100,16 @@ class TestObservedGoldenTraces:
     it, so the schedule stays bit-identical to the seed engine.
     """
 
+    @pytest.mark.parametrize("scheduler", ["scan", "active"])
     @pytest.mark.parametrize("algorithm", sorted(SEED_GOLDEN_TRACES))
-    def test_observed_trace_matches_seed_engine(self, algorithm):
+    def test_observed_trace_matches_seed_engine(self, algorithm, scheduler):
         config = SimulationConfig(
             radix=6,
             n_dims=2,
             algorithm=algorithm,
             offered_load=0.5,
             seed=7,
+            scheduler=scheduler,
             obs=True,
             obs_options={
                 "stride": 16,

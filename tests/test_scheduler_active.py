@@ -1,0 +1,193 @@
+"""Scan vs. activity-tracked scheduler equivalence.
+
+``SimulationConfig.scheduler`` selects between the seed engine's full
+per-cycle rescan ("scan") and the event-driven activity-tracked
+scheduler ("active").  The two must be *bit-identical*: same flit
+schedule, same counters, same rng stream positions, same per-channel
+state.  ``Engine.state_fingerprint()`` digests exactly that state
+(scheduler bookkeeping like armed stamps and parked-waiter lists is
+excluded — it is allowed to differ), so fingerprint equality after the
+same number of cycles is the equivalence oracle used throughout.
+
+Covered here:
+
+* the full matrix of 6 algorithms x {mesh, torus} x {wormhole, vct},
+  observer enabled and disabled;
+* a 50-configuration fuzz sweep over random short configs (switching,
+  flow control, mux policy, selection policy, load, message length,
+  buffer depth, seeds);
+* the routing-decision memo: cached candidate sets must resolve to the
+  same objects a fresh computation produces, and disabling the memo
+  must not change the schedule;
+* config validation and the scheduler-dependent engine wiring.
+"""
+
+import random
+
+import pytest
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import Engine
+from repro.util.errors import ConfigurationError
+
+ALGORITHMS = ("ecube", "nlast", "2pn", "phop", "nhop", "nbc")
+
+
+def _run_pair(cycles, **options):
+    """Run one scan engine and one active engine on the same config."""
+    engines = []
+    for scheduler in ("scan", "active"):
+        engine = Engine(SimulationConfig(scheduler=scheduler, **options))
+        engine.run_cycles(cycles)
+        engines.append(engine)
+    return engines
+
+
+class TestSchedulerIdentity:
+    @pytest.mark.parametrize("obs", [False, True])
+    @pytest.mark.parametrize("switching", ["wormhole", "vct"])
+    @pytest.mark.parametrize("topology", ["mesh", "torus"])
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matrix_fingerprint_identity(
+        self, algorithm, topology, switching, obs
+    ):
+        scan, active = _run_pair(
+            600,
+            radix=4,
+            n_dims=2,
+            topology=topology,
+            algorithm=algorithm,
+            switching=switching,
+            offered_load=0.45,
+            seed=23,
+            obs=obs,
+            obs_options={"stride": 32} if obs else {},
+        )
+        assert scan.state_fingerprint() == active.state_fingerprint()
+        assert scan.flits_moved_total > 0  # the run exercised the fabric
+        assert active.conservation_check()
+
+    def test_fingerprint_detects_divergence(self):
+        """The oracle itself must not be vacuous."""
+        a = Engine(SimulationConfig(radix=4, n_dims=2, seed=1,
+                                    offered_load=0.3))
+        b = Engine(SimulationConfig(radix=4, n_dims=2, seed=1,
+                                    offered_load=0.3))
+        a.run_cycles(400)
+        b.run_cycles(401)
+        assert a.state_fingerprint() != b.state_fingerprint()
+
+
+class TestSchedulerFuzz:
+    def test_fifty_random_configs_agree(self):
+        """50 random short configs: fingerprints identical throughout."""
+        rng = random.Random(0xC0FFEE)
+        for trial in range(50):
+            switching = rng.choice(["wormhole", "wormhole", "vct", "saf"])
+            options = dict(
+                radix=rng.choice([4, 4, 6]),
+                n_dims=2,
+                topology=rng.choice(["mesh", "torus"]),
+                algorithm=rng.choice(ALGORITHMS),
+                switching=switching,
+                flow_control=rng.choice(["ideal", "conservative"]),
+                mux_policy=rng.choice(["round_robin", "highest_class"]),
+                selection_policy=rng.choice(
+                    ["least_multiplexed", "random", "first"]
+                ),
+                offered_load=rng.choice([0.15, 0.3, 0.5, 0.7]),
+                message_length=rng.choice([4, 8, 16]),
+                injection_limit=rng.choice([1, 2, None]),
+                # VCT and SAF require buffers holding a whole packet; let
+                # the config default handle those modes.
+                vc_buffer_depth=(
+                    rng.choice([None, 1, 2, 4])
+                    if switching == "wormhole" else None
+                ),
+                seed=rng.randrange(10_000),
+            )
+            cycles = rng.randrange(200, 500)
+            scan, active = _run_pair(cycles, **options)
+            assert (
+                scan.state_fingerprint() == active.state_fingerprint()
+            ), f"trial {trial} diverged: {options}, cycles={cycles}"
+
+
+class TestRoutingMemo:
+    def _congested(self, algorithm, scheduler="active"):
+        return Engine(SimulationConfig(
+            radix=4,
+            n_dims=2,
+            algorithm=algorithm,
+            offered_load=0.6,
+            seed=5,
+            scheduler=scheduler,
+        ))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_memo_entries_resolve_into_live_fabric(self, algorithm):
+        """Memo entries alias the fabric's channel/VC objects exactly.
+
+        The memo stores resolved (VirtualChannel, PhysicalChannel) pairs,
+        not copies: every cached pair must be the very objects the fabric
+        owns at the memo key's head node, so allocation through a cached
+        entry mutates real network state.
+        """
+        engine = self._congested(algorithm)
+        engine.run_cycles(800)
+        assert engine._resolved_cache, "memo never engaged"
+        channels = engine._channels
+        for (node, dst, key), resolved in engine._resolved_cache.items():
+            assert node != dst
+            for vc, channel in resolved:
+                assert channels[vc.link.index] is channel
+                assert channel.vcs[vc.vc_class] is vc
+                assert vc.link.src == node
+
+    def test_memo_disabled_is_schedule_invisible(self):
+        """state_key -> None (memo off) must not change the schedule."""
+        plain = self._congested("phop")
+        plain.run_cycles(600)
+        unmemoized = self._congested("phop")
+        unmemoized.algorithm.state_key = lambda state: None  # type: ignore
+        unmemoized.run_cycles(600)
+        assert not unmemoized._resolved_cache
+        assert (
+            plain.state_fingerprint() == unmemoized.state_fingerprint()
+        )
+
+    def test_memo_only_engages_for_active_scheduler(self):
+        engine = self._congested("phop", scheduler="scan")
+        engine.run_cycles(400)
+        assert not engine._resolved_cache
+
+
+class TestSchedulerConfig:
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(scheduler="bogus")
+
+    def test_scan_engine_uses_fifo_queue(self):
+        engine = Engine(SimulationConfig(radix=4, scheduler="scan"))
+        assert engine._route_pending is engine._route_queue
+        assert not engine._parking
+
+    def test_active_engine_uses_heap_and_parking(self):
+        engine = Engine(SimulationConfig(radix=4, scheduler="active"))
+        assert engine._route_pending is engine._route_heap
+        assert engine._parking
+
+    def test_sanitizer_disables_parking(self):
+        engine = Engine(
+            SimulationConfig(radix=4, scheduler="active", sanitize=True)
+        )
+        assert not engine._parking
+
+    def test_observer_attach_detach_toggles_parking(self):
+        from repro.obs.observer import ObsConfig, Observer
+
+        engine = Engine(SimulationConfig(radix=4, scheduler="active"))
+        engine.attach_observer(Observer(ObsConfig(stride=64)))
+        assert not engine._parking
+        engine.detach_observer()
+        assert engine._parking
