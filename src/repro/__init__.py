@@ -22,6 +22,8 @@ Quickstart::
     print(result.average_latency, result.achieved_utilization)
 """
 
+from types import MappingProxyType
+
 from repro.routing import (
     ALGORITHM_NAMES,
     RoutingAlgorithm,
@@ -44,13 +46,17 @@ __all__ = [
     "run_point",
 ]
 
-_LAZY_EXPORTS = {
-    "SimulationConfig": ("repro.simulator.config", "SimulationConfig"),
-    "run_point": ("repro.experiments.runner", "run_point"),
-}
+# Read-only lazy-import table (immutable so ProcessPool workers can never
+# drift from the parent — the DET005 worker-shared-state discipline).
+_LAZY_EXPORTS = MappingProxyType(
+    {
+        "SimulationConfig": ("repro.simulator.config", "SimulationConfig"),
+        "run_point": ("repro.experiments.runner", "run_point"),
+    }
+)
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     """Lazily resolve heavy simulator exports so bare imports stay cheap."""
     target = _LAZY_EXPORTS.get(name)
     if target is None:

@@ -1,0 +1,72 @@
+"""``repro.analysis.lint`` — AST-based determinism & hot-path analyzer.
+
+A rule-registry static analyzer in the mould of
+:mod:`repro.analysis.verify`: where the verify battery proves the
+*routing algorithms'* statically checkable properties (escape-channel
+discipline, dependency acyclicity), this package proves the *engine's*
+statically checkable determinism discipline — no global random state, no
+wall-clock in the core, no hash-ordered decisions, no worker-shared
+mutable state, full serializer coverage, and allocation-free hot paths.
+
+See ``docs/static-analysis.md`` for the rule catalogue and the waiver
+syntax, and the ``repro-lint`` console script for the CLI.
+"""
+
+from repro.analysis.lint.finding import (
+    ALL_STATUSES,
+    Finding,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    STATUS_OPEN,
+    STATUS_WAIVED,
+    Waiver,
+    summarize,
+)
+from repro.analysis.lint.report import format_summary, format_table
+from repro.analysis.lint.rules import (
+    DET002_ALLOWED_FUNCTIONS,
+    ModuleContext,
+    RULES,
+    Rule,
+    SERIALIZE_EXCLUDE_ATTR,
+    build_context,
+    register_rule,
+)
+from repro.analysis.lint.runner import (
+    FindingCache,
+    LintRun,
+    analyze_source,
+    apply_waivers,
+    default_root,
+    lint_code_hash,
+    parse_waivers,
+    run_lint,
+)
+
+__all__ = [
+    "ALL_STATUSES",
+    "DET002_ALLOWED_FUNCTIONS",
+    "Finding",
+    "FindingCache",
+    "LintRun",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "SERIALIZE_EXCLUDE_ATTR",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "STATUS_OPEN",
+    "STATUS_WAIVED",
+    "Waiver",
+    "analyze_source",
+    "apply_waivers",
+    "build_context",
+    "default_root",
+    "format_summary",
+    "format_table",
+    "lint_code_hash",
+    "parse_waivers",
+    "register_rule",
+    "run_lint",
+    "summarize",
+]

@@ -1,0 +1,138 @@
+"""Command-line interface: ``repro-lint``.
+
+Runs the determinism / hot-path rule battery over the ``repro`` source
+tree (or any directory), printing a finding table and optionally writing
+machine-readable JSON.
+
+Examples::
+
+    repro-lint --all --json lint-report.json
+    repro-lint --rules DET001,DET003 src/repro
+    repro-lint --all --fail-on-error            # CI gate
+
+Exit status: 0 when every finding is waived (or none exists); 1 on any
+open error finding.  ``--fail-on-error`` is accepted for symmetry with
+``repro-verify`` (open findings already fail; the flag documents CI
+intent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.lint import (
+    RULES,
+    format_summary,
+    format_table,
+    run_lint,
+)
+from repro.util.errors import ConfigurationError
+
+#: Default on-disk location of the per-file finding cache.
+DEFAULT_CACHE = ".repro-lint-cache.json"
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Statically check the determinism and hot-path discipline "
+            "of the repro source tree (see docs/static-analysis.md)."
+        ),
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help=(
+            "directory to analyze (default: the installed repro "
+            "package)"
+        ),
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="analyze the whole installed repro package (the default)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help=(
+            "comma-separated rule ids "
+            f"(default: all of {', '.join(RULES)})"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the structured findings to this JSON file",
+    )
+    parser.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE,
+        metavar="PATH",
+        help=f"finding cache file (default: {DEFAULT_CACHE})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the finding cache",
+    )
+    parser.add_argument(
+        "--fail-on-error",
+        action="store_true",
+        help=(
+            "exit non-zero on open findings (already the default; "
+            "documents CI intent)"
+        ),
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the summary, not the full table",
+    )
+    return parser.parse_args(argv)
+
+
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.root is not None and args.all:
+        print(
+            "repro-lint: give either a root directory or --all, not both",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        run = run_lint(
+            root=Path(args.root) if args.root is not None else None,
+            rules=_split(args.rules),
+            cache_path=None if args.no_cache else args.cache,
+        )
+    except ConfigurationError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(format_table(run))
+        print()
+    print(format_summary(run))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(run.to_dict(), stream, indent=1, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if run.ok() else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

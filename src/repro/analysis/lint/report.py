@@ -1,0 +1,92 @@
+"""Human-readable rendering of lint runs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.lint.finding import Finding, STATUS_WAIVED
+from repro.analysis.lint.runner import LintRun
+
+#: Column order of the table.
+_HEADER = ("rule", "severity", "location", "status", "message")
+
+_STATUS_MARK = {
+    "open": "OPEN",
+    "waived": "waived",
+}
+
+
+def _rows(findings: List[Finding], max_message: int) -> List[tuple]:
+    rows = []
+    for finding in findings:
+        message = finding.message.replace("\n", " ")
+        if len(message) > max_message:
+            message = message[: max_message - 3] + "..."
+        rows.append(
+            (
+                finding.rule,
+                finding.severity,
+                finding.location,
+                _STATUS_MARK.get(finding.status, finding.status),
+                message,
+            )
+        )
+    return rows
+
+
+def format_table(run: LintRun, max_message: int = 64) -> str:
+    """Every finding as a fixed-width text table."""
+    rows = _rows(run.findings, max_message)
+    if not rows:
+        return "no findings"
+    widths = [
+        max(len(_HEADER[column]), *(len(row[column]) for row in rows))
+        for column in range(len(_HEADER))
+    ]
+    lines = [
+        "  ".join(
+            title.ljust(widths[column])
+            for column, title in enumerate(_HEADER)
+        ),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[column])
+                for column, cell in enumerate(row)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_summary(run: LintRun) -> str:
+    """One-line totals plus every waiver reason and open finding."""
+    summary = run.summary()
+    counts = ", ".join(
+        f"{count} {status}" for status, count in summary.items() if count
+    )
+    cached = (
+        f", {run.files_cached} cached" if run.files_cached else ""
+    )
+    lines = [
+        f"{len(run.findings)} findings over {run.files_analyzed} "
+        f"analyzed files{cached}: {counts or 'none'} "
+        f"({run.wall_time:.2f}s)"
+    ]
+    for finding in run.findings:
+        if finding.status == STATUS_WAIVED:
+            lines.append(
+                f"waived: {finding.rule} at {finding.location} -- "
+                f"{finding.waiver}"
+            )
+        elif not finding.ok:
+            lines.append(
+                f"OPEN: {finding.rule} at {finding.location} -- "
+                f"{finding.message}"
+                + (f" (hint: {finding.hint})" if finding.hint else "")
+            )
+    return "\n".join(lines)
+
+
+__all__ = ["format_summary", "format_table"]

@@ -13,6 +13,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+from types import MappingProxyType
 from typing import List, Optional, Tuple
 
 from repro.experiments import paper_figures
@@ -22,12 +23,15 @@ from repro.experiments.tables import format_figure, peak_summary, write_csv
 from repro.routing.registry import ALGORITHM_NAMES
 from repro.simulator.config import SimulationConfig
 
-_FIGURES = {
-    "3": (paper_figures.figure3, paper_figures.check_figure3),
-    "4": (paper_figures.figure4, paper_figures.check_figure4),
-    "5": (paper_figures.figure5, paper_figures.check_figure5),
-    "vct": (paper_figures.vct_comparison, paper_figures.check_vct),
-}
+# Immutable figure dispatch table (DET005: no worker-divergent state).
+_FIGURES = MappingProxyType(
+    {
+        "3": (paper_figures.figure3, paper_figures.check_figure3),
+        "4": (paper_figures.figure4, paper_figures.check_figure4),
+        "5": (paper_figures.figure5, paper_figures.check_figure5),
+        "vct": (paper_figures.vct_comparison, paper_figures.check_vct),
+    }
+)
 
 
 def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:

@@ -22,13 +22,16 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Dict
+from types import MappingProxyType
+from typing import Dict, Mapping
 
 from repro.simulator.config import SimulationConfig
 from repro.util.errors import ConfigurationError
 
 #: Per-profile overrides applied on top of SimulationConfig defaults.
-PROFILES: Dict[str, Dict[str, object]] = {
+#: Immutable: a profile edited at runtime would silently diverge between
+#: the parent process and ProcessPool workers (DET005).
+PROFILES: Mapping[str, Dict[str, object]] = MappingProxyType({
     "paper": {
         "radix": 16,
         "warmup_cycles": 5000,
@@ -61,7 +64,7 @@ PROFILES: Dict[str, Dict[str, object]] = {
         "min_samples": 3,
         "max_samples": 3,
     },
-}
+})
 
 _ENV_VAR = "REPRO_PROFILE"
 

@@ -9,7 +9,7 @@ usual latency statistics over the trace's messages.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.simulator.config import SimulationConfig
 from repro.simulator.engine import Engine
@@ -86,7 +86,7 @@ def run_trace(
 def compare_algorithms(
     config: SimulationConfig,
     trace: MessageTrace,
-    algorithms,
+    algorithms: Iterable[str],
 ) -> Dict[str, TraceResult]:
     """Replay the same trace under several routing algorithms."""
     import dataclasses

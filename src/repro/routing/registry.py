@@ -19,6 +19,10 @@ from repro.routing.two_power_n import TwoPowerN
 from repro.topology.base import Topology
 from repro.util.errors import ConfigurationError, RoutingError
 
+# register_algorithm() extends this table at import time only, so the
+# parent and ProcessPool workers build identical copies by importing the
+# same modules.
+# repro-lint: ignore[DET005] write-once registry, extended at import only
 _FACTORIES: Dict[str, Callable[[Topology], RoutingAlgorithm]] = {
     ECube.name: ECube,
     NorthLast.name: NorthLast,

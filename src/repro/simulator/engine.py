@@ -45,6 +45,7 @@ from typing import (
     Deque,
     Dict,
     Hashable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -421,6 +422,7 @@ class Engine:
     # phase 1: generation
     # ------------------------------------------------------------------
 
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _generate_arrivals(self) -> None:
         if self._trace_events is not None:
             self._generate_trace_arrivals()
@@ -496,6 +498,7 @@ class Engine:
         else:
             self._route_queue.append(message)
 
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _route_active(self) -> bool:
         """Routing phase of the activity-tracked scheduler.
 
@@ -593,6 +596,7 @@ class Engine:
         # Waiter-list entries left behind are invalidated by the parked
         # flag / epoch check in _wake_waiters.
 
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _memo_candidates(self, message: Message) -> Sequence[_Candidate]:
         """Resolved candidates via the engine-level memo table.
 
@@ -622,6 +626,7 @@ class Engine:
             cache[entry] = resolved
         return resolved
 
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _route(self) -> bool:
         queue = self._route_queue
         policy = self.config.selection_policy
@@ -668,6 +673,7 @@ class Engine:
             resolved.append((channel.vcs[vc_class], channel))
         return resolved
 
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _select(
         self,
         candidates: Sequence[_Candidate],
@@ -731,6 +737,7 @@ class Engine:
     # phase 3: transmission
     # ------------------------------------------------------------------
 
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _transmit(self) -> bool:
         saf = self._saf
         ideal = self._ideal
@@ -765,6 +772,7 @@ class Engine:
         self.flits_moved_total += moved
         return moved > 0
 
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _transmit_active(self) -> bool:
         """Transmission phase of the activity-tracked scheduler.
 
@@ -1056,6 +1064,7 @@ class Engine:
         self.flits_moved_total += moved
         return moved > 0
 
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _handle_flit_arrival(self, vc: VirtualChannel) -> None:
         owner = vc.owner
         if vc is owner.path[-1] and vc.link.dst != owner.dst:
@@ -1081,6 +1090,7 @@ class Engine:
     # phase 4: ejection
     # ------------------------------------------------------------------
 
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _eject(self) -> bool:
         cycle = self.cycle
         still: List[VirtualChannel] = []
@@ -1197,7 +1207,7 @@ class Engine:
         in_network = self.network_flits()
         return expected == at_source + in_network + ejected + delivered_flits
 
-    def _iter_live_messages(self):
+    def _iter_live_messages(self) -> Iterator[Message]:
         seen = set()
         for message in self._route_queue:
             if message.msg_id not in seen:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Dict, List, Optional
+from typing import Any, ClassVar, Dict, FrozenSet, List, Optional
 
 
 @dataclass
@@ -63,6 +63,16 @@ class SimulationResult:
     #: Extra context (profile name, switching mode, ...).
     notes: Optional[str] = None
 
+    #: Fields intentionally absent from the flat :meth:`to_dict` CSV row
+    #: (the SER001 exclusion list — every other field must appear there):
+    #: ``obs_metrics`` is a nested, schema-versioned aggregate that only
+    #: travels via :meth:`to_json_dict` checkpoints, and ``wall_seconds``
+    #: is machine noise deliberately kept out of comparable tables (it is
+    #: already excluded from equality above).
+    SERIALIZE_EXCLUDE: ClassVar[FrozenSet[str]] = frozenset(
+        {"obs_metrics", "wall_seconds"}
+    )
+
     @property
     def refusal_rate(self) -> float:
         """Fraction of generated messages refused by congestion control."""
@@ -76,9 +86,12 @@ class SimulationResult:
 
         Every reported quantity appears: compound fields are flattened —
         ``latency_percentiles`` into ``latency_p50/p95/p99`` columns
-        (0.0 when no message was delivered) and ``vc_class_usage`` into a
-        single ``;``-joined column so the schema stays fixed across
-        algorithms with different virtual-channel counts.
+        (0.0 when no message was delivered), and ``vc_class_usage`` /
+        ``hop_class_latency`` into single ``;``-joined columns so the
+        schema stays fixed across algorithms with different
+        virtual-channel counts and topologies with different diameters.
+        Omissions are the audited exception: :data:`SERIALIZE_EXCLUDE`
+        names them, and the SER001 lint rule holds this method to it.
         """
         return {
             "algorithm": self.algorithm,
@@ -107,6 +120,10 @@ class SimulationResult:
             "refusal_rate": self.refusal_rate,
             "vc_class_usage": ";".join(
                 str(count) for count in self.vc_class_usage
+            ),
+            "hop_class_latency": ";".join(
+                f"{hops}:{latency:.4f}"
+                for hops, latency in sorted(self.hop_class_latency.items())
             ),
             "notes": self.notes or "",
         }

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.topology.base import Topology
 
@@ -95,7 +95,7 @@ class TrafficPattern(ABC):
 class UniformOverSetPattern(TrafficPattern):
     """Helper base: destinations drawn uniformly from a per-source set."""
 
-    def candidate_destinations(self, src: int):
+    def candidate_destinations(self, src: int) -> Sequence[int]:
         """The (non-empty) set of allowed destinations for *src*."""
         raise NotImplementedError
 

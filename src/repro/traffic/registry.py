@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from types import MappingProxyType
+from typing import Any, Callable, List, Mapping
 
 from repro.topology.base import Topology
 from repro.traffic.base import TrafficPattern
@@ -16,14 +17,18 @@ from repro.traffic.permutations import (
 from repro.traffic.uniform import UniformTraffic
 from repro.util.errors import ConfigurationError
 
-_FACTORIES: Dict[str, Callable[..., TrafficPattern]] = {
-    UniformTraffic.name: UniformTraffic,
-    HotspotTraffic.name: HotspotTraffic,
-    LocalTraffic.name: LocalTraffic,
-    TransposeTraffic.name: TransposeTraffic,
-    BitComplementTraffic.name: BitComplementTraffic,
-    BitReversalTraffic.name: BitReversalTraffic,
-}
+# Immutable: the pattern set is closed at import time, so parent and
+# ProcessPool workers always agree on it (DET005).
+_FACTORIES: Mapping[str, Callable[..., TrafficPattern]] = MappingProxyType(
+    {
+        UniformTraffic.name: UniformTraffic,
+        HotspotTraffic.name: HotspotTraffic,
+        LocalTraffic.name: LocalTraffic,
+        TransposeTraffic.name: TransposeTraffic,
+        BitComplementTraffic.name: BitComplementTraffic,
+        BitReversalTraffic.name: BitReversalTraffic,
+    }
+)
 
 
 def available_patterns() -> List[str]:

@@ -42,20 +42,20 @@ def torus4_3d() -> Torus:
 
 def tiny_config(**overrides) -> SimulationConfig:
     """A fast 4x4-torus configuration for engine tests."""
-    defaults = dict(
-        radix=4,
-        n_dims=2,
-        algorithm="ecube",
-        traffic="uniform",
-        offered_load=0.2,
-        message_length=4,
-        warmup_cycles=200,
-        sample_cycles=300,
-        gap_cycles=50,
-        min_samples=3,
-        max_samples=3,
-        seed=7,
-    )
+    defaults = {
+        "radix": 4,
+        "n_dims": 2,
+        "algorithm": "ecube",
+        "traffic": "uniform",
+        "offered_load": 0.2,
+        "message_length": 4,
+        "warmup_cycles": 200,
+        "sample_cycles": 300,
+        "gap_cycles": 50,
+        "min_samples": 3,
+        "max_samples": 3,
+        "seed": 7,
+    }
     defaults.update(overrides)
     return SimulationConfig(**defaults)
 

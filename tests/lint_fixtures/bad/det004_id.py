@@ -1,0 +1,5 @@
+"""Fixture: DET004 fires — object-address ordering."""
+
+
+def stable_order(items):
+    return sorted(items, key=lambda item: id(item))

@@ -1,0 +1,15 @@
+"""Fixture: HOT001 fires — every allocation-heavy construct it knows."""
+
+from copy import deepcopy
+
+LABELS = ("a", "b")
+
+
+# repro: hot
+def tick(state):
+    snapshot = deepcopy(state)
+    message = f"cycle {state}"
+    text = "{}".format(state)
+    legacy = "%s" % state
+    table = [label for label in LABELS]
+    return snapshot, message, text, legacy, table

@@ -1,0 +1,13 @@
+"""Fixture: SER001 fires — the serializer drops a field."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Row:
+    name: str
+    value: float
+    hidden: int = 0
+
+    def to_dict(self):
+        return {"name": self.name, "value": self.value}

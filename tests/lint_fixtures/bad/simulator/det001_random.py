@@ -1,0 +1,9 @@
+"""Fixture: DET001 fires — process-global random state."""
+
+import random
+from random import randint
+
+
+def jitter():
+    random.seed(42)
+    return random.random() + randint(0, 3)

@@ -1,0 +1,9 @@
+"""Fixture: DET002 fires — wall-clock read in the deterministic core."""
+
+from time import perf_counter
+
+
+def step_duration(engine):
+    started = perf_counter()
+    engine.step()
+    return perf_counter() - started

@@ -1,0 +1,10 @@
+"""Fixture: DET003 fires — hash-ordered set iteration and draining."""
+
+
+def drain(channels):
+    busy = {channel for channel in channels if channel.active}
+    for channel in busy:
+        yield channel
+    for channel in list(busy):
+        yield channel
+    yield busy.pop()

@@ -1,0 +1,9 @@
+"""Fixture: DET005 fires — worker-divergent mutable state."""
+
+REGISTRY = {}
+
+
+def record(value, seen=[]):
+    seen.append(value)
+    REGISTRY[value] = True
+    return seen

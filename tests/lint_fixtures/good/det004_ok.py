@@ -1,0 +1,5 @@
+"""Fixture: DET004 silent — ordering by a stable attribute."""
+
+
+def stable_order(items):
+    return sorted(items, key=lambda item: item.msg_id)

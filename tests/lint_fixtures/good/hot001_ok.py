@@ -1,0 +1,11 @@
+"""Fixture: HOT001 silent — a hot function that only indexes and adds."""
+
+
+# repro: hot
+def tick(counters, deltas):
+    total = 0
+    for index, delta in enumerate(deltas):
+        counters[index] += delta
+        total += delta
+    scaled = [value * 2 for value in deltas]
+    return total, scaled

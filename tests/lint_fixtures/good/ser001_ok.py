@@ -1,0 +1,25 @@
+"""Fixture: SER001 silent — full coverage, exclusions, and asdict."""
+
+from dataclasses import asdict, dataclass
+from typing import ClassVar, FrozenSet
+
+
+@dataclass
+class Row:
+    name: str
+    value: float
+    hidden: int = 0
+
+    SERIALIZE_EXCLUDE: ClassVar[FrozenSet[str]] = frozenset({"hidden"})
+
+    def to_dict(self):
+        return {"name": self.name, "value": self.value}
+
+
+@dataclass
+class Mirror:
+    left: int
+    right: int
+
+    def to_dict(self):
+        return asdict(self)

@@ -1,0 +1,8 @@
+"""Fixture: DET001 silent — seeded instance streams, no global state."""
+
+import random
+
+
+def draw(seed):
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,10 @@
+"""Fixture: DET003 silent — sorted sets and insertion-ordered dicts."""
+
+
+def drain(channels):
+    busy = {channel for channel in channels if channel.active}
+    for channel in sorted(busy):
+        yield channel
+    ordered = dict.fromkeys(channels)
+    for channel in ordered:
+        yield channel

@@ -1,0 +1,15 @@
+"""Fixture: DET005 silent — immutable module state, None defaults."""
+
+from types import MappingProxyType
+
+NAMES = ("ecube", "nbc")
+WEIGHTS = MappingProxyType({"ecube": 1, "nbc": 2})
+
+__all__ = ["NAMES", "WEIGHTS", "record"]
+
+
+def record(value, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(value)
+    return seen

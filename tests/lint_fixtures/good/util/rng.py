@@ -1,0 +1,7 @@
+"""Fixture: DET001 silent — util/rng.py is the one exempt module."""
+
+import random
+
+
+def reseed(seed):
+    random.seed(seed)

@@ -76,7 +76,7 @@ class TestExtremeLoads:
 
 class TestBufferDepths:
     def test_deep_buffers_never_hurt_throughput(self):
-        common = dict(offered_load=0.8, seed=9)
+        common = {"offered_load": 0.8, "seed": 9}
         shallow = Engine(tiny_config(vc_buffer_depth=1, **common))
         deep = Engine(tiny_config(vc_buffer_depth=8, **common))
         for engine in (shallow, deep):

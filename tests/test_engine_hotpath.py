@@ -135,9 +135,13 @@ class TestObservedGoldenTraces:
 
 class TestIdleFastForward:
     def _config(self, **overrides):
-        base = dict(
-            radix=4, n_dims=2, algorithm="ecube", offered_load=0.03, seed=11
-        )
+        base = {
+            "radix": 4,
+            "n_dims": 2,
+            "algorithm": "ecube",
+            "offered_load": 0.03,
+            "seed": 11,
+        }
         base.update(overrides)
         return SimulationConfig(**base)
 

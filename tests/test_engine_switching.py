@@ -36,7 +36,7 @@ class TestStoreAndForward:
         assert statistics.mean(excess_ratio) < 1.8
 
     def test_saf_slower_than_wormhole_at_low_load(self):
-        common = dict(radix=8, offered_load=0.05, message_length=8, seed=4)
+        common = {"radix": 8, "offered_load": 0.05, "message_length": 8, "seed": 4}
         _, wormhole = run_sample(tiny_config(switching="wormhole", **common))
         _, saf = run_sample(tiny_config(switching="saf", **common))
         assert saf.mean_latency() > 1.5 * wormhole.mean_latency()
@@ -45,7 +45,7 @@ class TestStoreAndForward:
 class TestVirtualCutThrough:
     def test_vct_matches_wormhole_latency_at_low_load(self):
         """With no blocking, VCT pipelines exactly like wormhole."""
-        common = dict(radix=8, offered_load=0.03, message_length=16, seed=5)
+        common = {"radix": 8, "offered_load": 0.03, "message_length": 16, "seed": 5}
         _, wormhole = run_sample(tiny_config(switching="wormhole", **common))
         _, vct = run_sample(tiny_config(switching="vct", **common))
         assert vct.mean_latency() == pytest.approx(
@@ -54,7 +54,7 @@ class TestVirtualCutThrough:
 
     def test_vct_throughput_at_least_wormhole_under_load(self):
         """Buffering blocked packets releases channels: VCT >= wormhole."""
-        common = dict(radix=8, offered_load=0.8, seed=6)
+        common = {"radix": 8, "offered_load": 0.8, "seed": 6}
         engine_wh, wormhole = run_sample(
             tiny_config(switching="wormhole", **common)
         )
@@ -77,7 +77,7 @@ class TestSection34:
         """Paper Section 3.4: under VCT, 2pn performs as well as nbc
         (per-flit priority information stops mattering when blocked
         packets leave the network)."""
-        loads = dict(radix=8, offered_load=0.75, seed=8, message_length=16)
+        loads = {"radix": 8, "offered_load": 0.75, "seed": 8, "message_length": 16}
         utils = {}
         for algorithm in ("2pn", "nbc", "ecube"):
             engine, sample = run_sample(

@@ -47,7 +47,7 @@ class TestHopClassLatencies:
     def test_stratified_mean_within_stratum_range(
         self, per_algorithm_results
     ):
-        for name, result in per_algorithm_results.items():
+        for result in per_algorithm_results.values():
             strata = result.hop_class_latency.values()
             assert min(strata) <= result.average_latency <= max(strata)
 

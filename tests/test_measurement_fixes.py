@@ -51,25 +51,25 @@ class TestNearestRankPercentile:
 
 
 def _result(**overrides):
-    defaults = dict(
-        algorithm="ecube",
-        traffic="uniform",
-        offered_load=0.4,
-        injection_rate=0.1,
-        average_latency=25.0,
-        latency_error_bound=1.0,
-        average_wait=3.5,
-        achieved_utilization=0.3,
-        delivered_throughput=0.28,
-        samples_used=3,
-        converged=True,
-        cycles_simulated=5000,
-        messages_generated=900,
-        messages_delivered=880,
-        messages_refused=20,
-        latency_percentiles={50: 22.0, 95: 40.0, 99: 55.0},
-        vc_class_usage=[120, 80],
-    )
+    defaults = {
+        "algorithm": "ecube",
+        "traffic": "uniform",
+        "offered_load": 0.4,
+        "injection_rate": 0.1,
+        "average_latency": 25.0,
+        "latency_error_bound": 1.0,
+        "average_wait": 3.5,
+        "achieved_utilization": 0.3,
+        "delivered_throughput": 0.28,
+        "samples_used": 3,
+        "converged": True,
+        "cycles_simulated": 5000,
+        "messages_generated": 900,
+        "messages_delivered": 880,
+        "messages_refused": 20,
+        "latency_percentiles": {50: 22.0, 95: 40.0, 99: 55.0},
+        "vc_class_usage": [120, 80],
+    }
     defaults.update(overrides)
     return SimulationResult(**defaults)
 

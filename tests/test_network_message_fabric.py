@@ -8,16 +8,16 @@ from repro.util.errors import ConfigurationError
 
 
 def make_message(**overrides):
-    defaults = dict(
-        msg_id=1,
-        src=0,
-        dst=5,
-        length=16,
-        distance=2,
-        route_state=None,
-        msg_class=0,
-        created_at=100,
-    )
+    defaults = {
+        "msg_id": 1,
+        "src": 0,
+        "dst": 5,
+        "length": 16,
+        "distance": 2,
+        "route_state": None,
+        "msg_class": 0,
+        "created_at": 100,
+    }
     defaults.update(overrides)
     return Message(**defaults)
 

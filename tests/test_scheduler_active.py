@@ -84,28 +84,28 @@ class TestSchedulerFuzz:
         rng = random.Random(0xC0FFEE)
         for trial in range(50):
             switching = rng.choice(["wormhole", "wormhole", "vct", "saf"])
-            options = dict(
-                radix=rng.choice([4, 4, 6]),
-                n_dims=2,
-                topology=rng.choice(["mesh", "torus"]),
-                algorithm=rng.choice(ALGORITHMS),
-                switching=switching,
-                flow_control=rng.choice(["ideal", "conservative"]),
-                mux_policy=rng.choice(["round_robin", "highest_class"]),
-                selection_policy=rng.choice(
+            options = {
+                "radix": rng.choice([4, 4, 6]),
+                "n_dims": 2,
+                "topology": rng.choice(["mesh", "torus"]),
+                "algorithm": rng.choice(ALGORITHMS),
+                "switching": switching,
+                "flow_control": rng.choice(["ideal", "conservative"]),
+                "mux_policy": rng.choice(["round_robin", "highest_class"]),
+                "selection_policy": rng.choice(
                     ["least_multiplexed", "random", "first"]
                 ),
-                offered_load=rng.choice([0.15, 0.3, 0.5, 0.7]),
-                message_length=rng.choice([4, 8, 16]),
-                injection_limit=rng.choice([1, 2, None]),
+                "offered_load": rng.choice([0.15, 0.3, 0.5, 0.7]),
+                "message_length": rng.choice([4, 8, 16]),
+                "injection_limit": rng.choice([1, 2, None]),
                 # VCT and SAF require buffers holding a whole packet; let
                 # the config default handle those modes.
-                vc_buffer_depth=(
+                "vc_buffer_depth": (
                     rng.choice([None, 1, 2, 4])
                     if switching == "wormhole" else None
                 ),
-                seed=rng.randrange(10_000),
-            )
+                "seed": rng.randrange(10_000),
+            }
             cycles = rng.randrange(200, 500)
             scan, active = _run_pair(cycles, **options)
             assert (
