@@ -33,7 +33,11 @@ makes nondeterminism more expensive:
   bug).
 * ``HOT001`` — allocation-heavy constructs (``deepcopy``, f-string /
   ``str.format`` / ``%`` formatting, comprehensions over loop-invariant
-  constants) inside functions marked with a ``# repro: hot`` pragma.
+  constants) inside functions marked with a ``# repro: hot`` pragma;
+  plus a numpy-aware sub-check: no per-element Python loops over numpy
+  arrays inside pragma'd kernels (the batch backend's array kernels
+  must stay whole-array — a Python loop over the batch axis silently
+  forfeits the vectorization the pragma promises).
 """
 
 from __future__ import annotations
@@ -750,6 +754,147 @@ def _hot_functions(ctx: ModuleContext) -> Iterator[ast.FunctionDef]:
             yield node
 
 
+#: Methods that step *out* of numpy land: their results are plain Python
+#: objects, so iterating them is a sanctioned scalar seam rather than a
+#: per-element loop over array storage.
+_NUMPY_SCALAR_METHODS = frozenset({"tolist", "item"})
+
+#: Builtins whose call forwards its argument's iteration: looping over
+#: ``enumerate(array)`` is still a per-element loop over the array.
+_ITER_FORWARDERS = frozenset(
+    {"enumerate", "zip", "reversed", "iter", "list", "tuple", "sorted",
+     "map", "filter"}
+)
+
+
+def _numpy_tainted_names(
+    ctx: ModuleContext, func: ast.FunctionDef
+) -> Tuple[Set[str], Set[str]]:
+    """(local names, ``self.<attr>`` names) holding numpy arrays.
+
+    A conservative dataflow pass: a name is array-tainted when assigned
+    from a ``numpy.*`` call or from an expression derived from another
+    tainted name.  Locals are tracked inside *func*; ``self`` attributes
+    module-wide (arrays are typically built in ``__init__`` and looped
+    over in kernels).  Iterated to a fixpoint so chains like
+    ``a = numpy.zeros(...); b = a; c = b[mask]`` resolve regardless of
+    statement order encountered by the walk.
+    """
+    local: Set[str] = set()
+    attrs: Set[str] = set()
+
+    def assignments(root: ast.AST) -> Iterator[Tuple[ast.expr, ast.expr]]:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield target, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield node.target, node.value
+            elif isinstance(node, ast.AugAssign):
+                yield node.target, node.value
+
+    for _ in range(4):  # fixpoint (chains deeper than 4 do not occur)
+        changed = False
+        for target, value in assignments(ctx.tree):
+            if not _is_numpy_expr(ctx, value, local, attrs):
+                continue
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr not in attrs
+            ):
+                attrs.add(target.attr)
+                changed = True
+        for target, value in assignments(func):
+            if isinstance(target, ast.Name) and target.id not in local and (
+                _is_numpy_expr(ctx, value, local, attrs)
+            ):
+                local.add(target.id)
+                changed = True
+        if not changed:
+            break
+    return local, attrs
+
+
+def _is_numpy_expr(
+    ctx: ModuleContext,
+    node: ast.expr,
+    local: Set[str],
+    attrs: Set[str],
+) -> bool:
+    """Does this expression (conservatively) evaluate to a numpy array?"""
+    if isinstance(node, ast.Name):
+        return node.id in local
+    if isinstance(node, ast.Starred):
+        return _is_numpy_expr(ctx, node.value, local, attrs)
+    if isinstance(node, ast.Call):
+        qualified = ctx.resolve(node.func)
+        if qualified is not None and qualified.startswith("numpy."):
+            return True
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _NUMPY_SCALAR_METHODS:
+                return False
+            # Array methods (reshape/min/take/...) stay arrays.
+            return _is_numpy_expr(ctx, node.func.value, local, attrs)
+        return False
+    if isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return node.attr in attrs
+        if node.attr in _NUMPY_SCALAR_METHODS:
+            return False
+        return _is_numpy_expr(ctx, node.value, local, attrs)
+    if isinstance(node, ast.Subscript):
+        return _is_numpy_expr(ctx, node.value, local, attrs)
+    if isinstance(node, ast.BinOp):
+        return _is_numpy_expr(ctx, node.left, local, attrs) or (
+            _is_numpy_expr(ctx, node.right, local, attrs)
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _is_numpy_expr(ctx, node.operand, local, attrs)
+    if isinstance(node, (ast.IfExp,)):
+        return _is_numpy_expr(ctx, node.body, local, attrs) or (
+            _is_numpy_expr(ctx, node.orelse, local, attrs)
+        )
+    return False
+
+
+def _loops_over_array(
+    ctx: ModuleContext,
+    iter_node: ast.expr,
+    local: Set[str],
+    attrs: Set[str],
+) -> bool:
+    """Does this ``for``/comprehension source iterate a numpy array?"""
+    if _is_numpy_expr(ctx, iter_node, local, attrs):
+        return True
+    if isinstance(iter_node, ast.Call) and isinstance(
+        iter_node.func, ast.Name
+    ):
+        name = iter_node.func.id
+        if name in _ITER_FORWARDERS:
+            return any(
+                _is_numpy_expr(ctx, arg, local, attrs)
+                for arg in iter_node.args
+            )
+        if name == "range":
+            # range(len(array)) / range(array.shape[0]): an index loop
+            # that almost certainly dereferences per element inside.
+            for arg in iter_node.args:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Call) and isinstance(
+                        sub.func, ast.Name
+                    ) and sub.func.id == "len" and sub.args and (
+                        _is_numpy_expr(ctx, sub.args[0], local, attrs)
+                    ):
+                        return True
+                    if isinstance(sub, ast.Attribute) and (
+                        sub.attr in ("shape", "size")
+                    ) and _is_numpy_expr(ctx, sub.value, local, attrs):
+                        return True
+    return False
+
+
 def _local_names(func: ast.FunctionDef) -> Set[str]:
     names = {arg.arg for arg in func.args.posonlyargs}
     names.update(arg.arg for arg in func.args.args)
@@ -766,12 +911,43 @@ def _local_names(func: ast.FunctionDef) -> Set[str]:
 
 @register_rule(
     "HOT001",
-    "no allocation-heavy constructs inside '# repro: hot' functions",
+    "no allocation-heavy constructs or per-element numpy loops inside "
+    "'# repro: hot' functions",
 )
 def hot001_hot_path(ctx: ModuleContext) -> List[Finding]:
     findings: List[Finding] = []
+    numpy_hint = (
+        "replace the loop with whole-array numpy operations (ufuncs, "
+        "boolean masks, fancy indexing); a deliberate scalar seam "
+        "should iterate .tolist() output outside the pragma'd kernel"
+    )
     for func in _hot_functions(ctx):
         local = _local_names(func)
+        array_local, array_attrs = _numpy_tainted_names(ctx, func)
+        for node in ast.walk(func):
+            iter_sources: List[ast.expr] = []
+            if isinstance(node, ast.For):
+                iter_sources = [node.iter]
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                iter_sources = [
+                    generator.iter for generator in node.generators
+                ]
+            for source in iter_sources:
+                if _loops_over_array(ctx, source, array_local, array_attrs):
+                    findings.append(
+                        _finding(
+                            "HOT001",
+                            ctx,
+                            source,
+                            "per-element Python loop over a numpy array "
+                            f"in hot function {func.name}() defeats "
+                            "vectorization",
+                            numpy_hint,
+                        )
+                    )
         for node in ast.walk(func):
             if isinstance(node, ast.Call):
                 qualified = ctx.resolve(node.func)

@@ -21,7 +21,12 @@ from repro.experiments.profiles import PROFILES, apply_profile
 from repro.experiments.sweep import PAPER_LOADS, sweep_algorithms
 from repro.experiments.tables import format_figure, peak_summary, write_csv
 from repro.routing.registry import ALGORITHM_NAMES
-from repro.simulator.config import SimulationConfig
+from repro.simulator.config import (
+    BACKENDS,
+    FLOW_CONTROL_MODES,
+    SimulationConfig,
+)
+from repro.util.errors import ConfigurationError
 
 # Immutable figure dispatch table (DET005: no worker-divergent state).
 _FIGURES = MappingProxyType(
@@ -69,6 +74,44 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         help="comma-separated offered loads (default: the paper's ladder)",
     )
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        metavar="S1,S2,...",
+        help=(
+            "comma-separated seeds: every (algorithm, load) point runs "
+            "once per seed (overrides --seed; pairs naturally with "
+            "--backend batch, which runs a point's seeds in lockstep)"
+        ),
+    )
+    parser.add_argument(
+        "--flow-control",
+        choices=sorted(FLOW_CONTROL_MODES),
+        default=None,
+        help=(
+            "node model for custom sweeps: 'ideal' (the paper's, "
+            "default) or 'conservative' (snapshot-based; required by "
+            "--backend batch)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help=(
+            "simulation backend for custom sweeps: 'object' (default) "
+            "runs one engine per seed, 'batch' runs each point's seeds "
+            "in one vectorized lockstep engine (bit-identical per seed; "
+            "requires a conservative-flow-control configuration)"
+        ),
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        metavar="B",
+        help="max seeds per lockstep batch with --backend batch",
+    )
     parser.add_argument(
         "--jobs",
         "-j",
@@ -149,10 +192,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.batch_size < 1:
+        print(
+            f"--batch-size must be >= 1, got {args.batch_size}",
+            file=sys.stderr,
+        )
+        return 2
+    seeds: Optional[List[int]] = None
+    if args.seeds is not None:
+        try:
+            seeds = [int(x) for x in args.seeds.split(",") if x.strip()]
+        except ValueError:
+            print(f"--seeds must be integers, got {args.seeds!r}",
+                  file=sys.stderr)
+            return 2
+        if not seeds:
+            print("--seeds must name at least one seed", file=sys.stderr)
+            return 2
 
     obs_enabled, obs_options = _obs_settings(args)
 
     if args.figure is not None:
+        if args.backend == "batch":
+            # The paper figures pin the paper's node model (ideal flow
+            # control), which the batch backend cannot reproduce
+            # bit-identically; see the batch module docstring.
+            print(
+                "--backend batch applies to custom sweeps only "
+                "(the paper figures use ideal flow control)",
+                file=sys.stderr,
+            )
+            return 2
+        if seeds is not None:
+            print("--seeds applies to custom sweeps; use --seed with "
+                  "--figure", file=sys.stderr)
+            return 2
+        if args.flow_control is not None:
+            print(
+                "--flow-control applies to custom sweeps only "
+                "(the paper figures pin the paper's node model)",
+                file=sys.stderr,
+            )
+            return 2
         run, check = _FIGURES[args.figure]
         series = run(
             profile=args.profile,
@@ -175,6 +256,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             config = dataclasses.replace(
                 config, obs=True, obs_options=obs_options
             )
+        if args.flow_control is not None:
+            config = dataclasses.replace(
+                config, flow_control=args.flow_control
+            )
+        if args.backend is not None:
+            try:
+                config = dataclasses.replace(config, backend=args.backend)
+            except ConfigurationError as error:
+                # e.g. batch over ideal flow control: surface the
+                # prerequisite instead of a traceback.
+                print(f"--backend {args.backend}: {error}", file=sys.stderr)
+                print(
+                    "hint: the batch backend needs "
+                    "--flow-control conservative",
+                    file=sys.stderr,
+                )
+                return 2
         series = sweep_algorithms(
             config,
             algorithms,
@@ -182,6 +280,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             verbose=not args.quiet,
             jobs=args.jobs,
             checkpoint=args.checkpoint,
+            seeds=seeds,
+            batch_size=args.batch_size,
         )
         title = f"Custom sweep: {args.traffic} traffic"
         checks = []

@@ -39,7 +39,7 @@ import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.experiments.runner import run_point
+from repro.experiments.runner import run_batch, run_point
 from repro.simulator.config import SimulationConfig
 from repro.stats.summary import SimulationResult
 
@@ -49,6 +49,13 @@ CHECKPOINT_VERSION = 1
 #: Config fields that vary between the points of one campaign; everything
 #: else must match for a checkpoint to be reused.
 _POINT_FIELDS = ("algorithm", "offered_load", "seed")
+
+#: Fields excluded from the campaign signature: the point fields, plus
+#: the backend — per-seed results are bit-identical across backends (the
+#: cross-backend test matrix pins this), so a checkpoint recorded under
+#: one backend is equally valid under the other and a resumed campaign
+#: may switch backends without losing completed points.
+_SIGNATURE_EXCLUDED = _POINT_FIELDS + ("backend",)
 
 
 def point_key(config: SimulationConfig) -> str:
@@ -70,7 +77,7 @@ def campaign_signature(config: SimulationConfig) -> str:
     rejected instead of silently reused.
     """
     shared = dataclasses.asdict(config)
-    for name in _POINT_FIELDS:
+    for name in _SIGNATURE_EXCLUDED:
         shared.pop(name, None)
     blob = json.dumps(shared, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
@@ -143,21 +150,67 @@ def _run_point_worker(config: SimulationConfig) -> SimulationResult:
     return run_point(config)
 
 
+def _run_batch_worker(
+    configs: Sequence[SimulationConfig],
+) -> List[SimulationResult]:
+    """Worker entry for one seed-batch: configs differ only by seed.
+
+    The whole batch advances in lockstep inside one
+    :class:`~repro.simulator.batch.BatchEngine`; results come back in
+    the order of *configs* (= seed order), each bit-identical to what
+    :func:`_run_point_worker` would have produced for that seed.
+    """
+    return run_batch(configs[0], [config.seed for config in configs])
+
+
+def _batch_groups(
+    configs: Sequence[SimulationConfig],
+    pending: Sequence[int],
+    batch_size: int,
+) -> List[List[int]]:
+    """Chunk pending batch-backend points into seed-batches.
+
+    Points sharing every field but the seed land in one group (in
+    submission order), split into chunks of at most *batch_size*; a
+    worker claims a whole chunk per task instead of one seed.
+    """
+    by_key: Dict[str, List[int]] = {}
+    for index in pending:
+        shared = dataclasses.asdict(configs[index])
+        shared.pop("seed", None)
+        key = json.dumps(shared, sort_keys=True, default=repr)
+        by_key.setdefault(key, []).append(index)
+    groups: List[List[int]] = []
+    for members in by_key.values():
+        for start in range(0, len(members), batch_size):
+            groups.append(members[start:start + batch_size])
+    return groups
+
+
 def run_points(
     configs: Sequence[SimulationConfig],
     jobs: int = 1,
     checkpoint_path: Optional[str] = None,
     verbose: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    batch_size: int = 32,
 ) -> List[SimulationResult]:
     """Run every config, fanning out to *jobs* worker processes.
 
     Results come back in the order of *configs* regardless of completion
     order.  With a checkpoint path, previously completed points are
     skipped and new completions are persisted as they land.
+
+    Points whose config selects ``backend="batch"`` are grouped into
+    seed-batches of at most *batch_size*: a worker claims a whole batch
+    (points identical except for the seed) and runs it in one lockstep
+    :class:`~repro.simulator.batch.BatchEngine`, instead of one point.
+    Per-seed results and checkpoint records are unchanged.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     if progress is None:
         def progress(line: str) -> None:
             if verbose:
@@ -193,17 +246,47 @@ def run_points(
         done += 1
         progress(f"  [{done}/{total}] {result}")
 
+    # One task per point for the object backend; one task per
+    # seed-batch for the batch backend.  Mixed lists are handled
+    # point-by-point within each class.
+    batch_pending = [
+        index for index in pending
+        if configs[index].backend == "batch"
+    ]
+    single_pending = [
+        index for index in pending
+        if configs[index].backend != "batch"
+    ]
+    groups = _batch_groups(configs, batch_pending, batch_size)
+
+    def finish_group(members: List[int],
+                     group_results: List[SimulationResult]) -> None:
+        for index, result in zip(members, group_results):
+            finish(index, result)
+
     if jobs == 1 or len(pending) <= 1:
-        for index in pending:
+        for index in single_pending:
             finish(index, _run_point_worker(configs[index]))
+        for members in groups:
+            finish_group(
+                members,
+                _run_batch_worker([configs[index] for index in members]),
+            )
     else:
-        workers = min(jobs, len(pending))
+        workers = min(jobs, len(single_pending) + len(groups))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
+            point_futures = {
                 pool.submit(_run_point_worker, configs[index]): index
-                for index in pending
+                for index in single_pending
             }
-            remaining = set(futures)
+            group_futures = {
+                pool.submit(
+                    _run_batch_worker,
+                    [configs[index] for index in members],
+                ): members
+                for members in groups
+            }
+            remaining = set(point_futures) | set(group_futures)
             while remaining:
                 finished, remaining = wait(
                     remaining, return_when=FIRST_COMPLETED
@@ -211,7 +294,10 @@ def run_points(
                 for future in finished:
                     # .result() re-raises worker exceptions here, after
                     # already-finished siblings have been checkpointed.
-                    finish(futures[future], future.result())
+                    if future in point_futures:
+                        finish(point_futures[future], future.result())
+                    else:
+                        finish_group(group_futures[future], future.result())
 
     return [result for result in results if result is not None]
 

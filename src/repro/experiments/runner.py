@@ -8,12 +8,14 @@ stops at convergence or at the sample cap.
 
 from __future__ import annotations
 
+import dataclasses
 import re
 from time import perf_counter
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.obs.profile import PhaseProfiler
 from repro.routing.base import RoutingAlgorithm
+from repro.simulator.batch import BatchEngine
 from repro.simulator.config import SimulationConfig
 from repro.simulator.engine import Engine
 from repro.stats.convergence import ConvergenceChecker
@@ -96,6 +98,96 @@ def obs_export_prefix(config: SimulationConfig) -> str:
     return re.sub(r"[^A-Za-z0-9._^-]+", "_", config.label()).strip("_")
 
 
+def run_batch(
+    config: SimulationConfig,
+    seeds: Sequence[int],
+    topology: Optional[Topology] = None,
+    algorithm: Optional[RoutingAlgorithm] = None,
+    traffic: Optional[TrafficPattern] = None,
+) -> List[SimulationResult]:
+    """Simulate one configuration for many seeds in vectorized lockstep.
+
+    Returns one :class:`SimulationResult` per seed, in seed order, each
+    bit-identical to ``run_point(replace(config, seed=s))`` (the
+    fingerprint and cross-backend tests pin this).  Every lane follows
+    the object runner's schedule — warm-up, then sampling periods with
+    fresh streams and optional gaps — against its own convergence
+    checker; a lane that converges (or hits the sample cap) is frozen
+    while the rest continue, so mixed convergence horizons cost no
+    redundant simulation.
+
+    ``wall_seconds`` is the batch's total wall clock divided evenly
+    across the lanes (lockstep execution has no per-lane clock).
+
+    Raises :class:`~repro.util.errors.DeadlockError` if any lane's
+    watchdog trips, like the object runner does for its single seed.
+    """
+    engine = BatchEngine(config, seeds, topology, algorithm, traffic)
+    weights = engine.traffic.hop_class_weights()
+    checkers = [
+        ConvergenceChecker(
+            weights,
+            relative_error=config.relative_error,
+            min_samples=config.min_samples,
+        )
+        for _ in seeds
+    ]
+    samples: List[List[SampleRecord]] = [[] for _ in seeds]
+    converged: List[bool] = [False] * len(seeds)
+    finished: List[bool] = [False] * len(seeds)
+
+    def check_deadlock() -> None:
+        errors = engine.lane_errors()
+        if errors:
+            raise errors[min(errors)]
+
+    t0 = perf_counter()
+    engine.run_cycles(config.warmup_cycles)
+    check_deadlock()
+    while engine.has_running_lanes:
+        active = engine.running_lane_indices
+        for index in active:
+            engine.advance_streams(index)
+            engine.start_sample(index)
+        engine.run_cycles(config.sample_cycles)
+        check_deadlock()
+        still_running = set(engine.running_lane_indices)
+        for index in active:
+            if index not in still_running:
+                continue  # deadlocked mid-sample (caught above)
+            samples[index].append(engine.end_sample(index))
+            if checkers[index].converged(samples[index]):
+                converged[index] = True
+                finished[index] = True
+                engine.stop_lane(index)
+            elif len(samples[index]) >= config.max_samples:
+                finished[index] = True
+                engine.stop_lane(index)
+        if engine.has_running_lanes and config.gap_cycles:
+            engine.run_cycles(config.gap_cycles)
+            check_deadlock()
+    wall_share = round((perf_counter() - t0) / max(len(seeds), 1), 4)
+
+    results: List[SimulationResult] = []
+    for index, seed in enumerate(seeds):
+        assert finished[index], "lane ended without sampling to a verdict"
+        result = summarize_components(
+            dataclasses.replace(config, seed=seed),
+            samples[index],
+            converged[index],
+            checkers[index],
+            topology=engine.topology,
+            algorithm_name=engine.algorithm.name,
+            traffic=engine.traffic,
+            injection_rate=engine.injection_rate,
+            num_vc_classes=engine.algorithm.num_virtual_channels,
+            cycles_simulated=engine.lanes[index].cycle,
+        )
+        result.wall_seconds = wall_share
+        results.append(result)
+    return results
+
+
 def summarize(
     config: SimulationConfig,
     engine: Engine,
@@ -104,12 +196,46 @@ def summarize(
     checker: ConvergenceChecker,
 ) -> SimulationResult:
     """Fold the collected samples into a :class:`SimulationResult`."""
+    return summarize_components(
+        config,
+        samples,
+        converged,
+        checker,
+        topology=engine.topology,
+        algorithm_name=engine.algorithm.name,
+        traffic=engine.traffic,
+        injection_rate=engine.injection_rate,
+        num_vc_classes=engine.fabric.num_vcs,
+        cycles_simulated=engine.cycle,
+    )
+
+
+def summarize_components(
+    config: SimulationConfig,
+    samples: List[SampleRecord],
+    converged: bool,
+    checker: ConvergenceChecker,
+    *,
+    topology: Topology,
+    algorithm_name: str,
+    traffic: TrafficPattern,
+    injection_rate: float,
+    num_vc_classes: int,
+    cycles_simulated: int,
+) -> SimulationResult:
+    """Backend-independent core of :func:`summarize`.
+
+    Takes the simulation components directly instead of an
+    :class:`Engine`, so the batch backend (which holds one shared
+    topology/algorithm/traffic for many lanes) can summarize each lane
+    through the exact same statistics code as the object backend.
+    """
     estimate = checker.estimate(samples)
     sample_cycles = sum(sample.cycles for sample in samples)
     flits_moved = sum(sample.flits_moved for sample in samples)
     generated = sum(sample.generated for sample in samples)
     refused = sum(sample.refused for sample in samples)
-    num_links = engine.topology.num_links
+    num_links = topology.num_links
     message_length = config.message_length
 
     delivered = 0
@@ -144,7 +270,7 @@ def summarize(
     # fractions share a denominator with flits_moved (gap-cycle flits
     # would otherwise inflate the per-class counts but not the
     # throughput they are compared against).
-    vc_usage = [0] * engine.fabric.num_vcs
+    vc_usage = [0] * num_vc_classes
     for sample in samples:
         for vc_class, count in enumerate(sample.vc_usage):
             vc_usage[vc_class] += count
@@ -153,7 +279,7 @@ def summarize(
     # requested loads past the sources' generation capacity are not
     # actually offered; label the point with the load that was.
     capacity = max_offered_load(
-        engine.topology, message_length, engine.traffic.mean_distance()
+        topology, message_length, traffic.mean_distance()
     )
     actual_load = min(config.offered_load, capacity)
     notes = f"switching={config.switching}"
@@ -165,10 +291,10 @@ def summarize(
         )
 
     return SimulationResult(
-        algorithm=engine.algorithm.name,
-        traffic=engine.traffic.name,
+        algorithm=algorithm_name,
+        traffic=traffic.name,
         offered_load=config.offered_load,
-        injection_rate=engine.injection_rate,
+        injection_rate=injection_rate,
         average_latency=estimate.mean,
         latency_error_bound=estimate.error_bound,
         average_wait=(total_wait / delivered) if delivered else 0.0,
@@ -176,7 +302,7 @@ def summarize(
         delivered_throughput=delivered_throughput,
         samples_used=len(samples),
         converged=converged,
-        cycles_simulated=engine.cycle,
+        cycles_simulated=cycles_simulated,
         messages_generated=generated,
         messages_delivered=delivered,
         messages_refused=refused,
@@ -188,4 +314,10 @@ def summarize(
     )
 
 
-__all__ = ["obs_export_prefix", "run_point", "summarize"]
+__all__ = [
+    "obs_export_prefix",
+    "run_batch",
+    "run_point",
+    "summarize",
+    "summarize_components",
+]

@@ -37,16 +37,19 @@ def run_sweep(
     verbose: bool = False,
     jobs: int = 1,
     checkpoint: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
+    batch_size: int = 32,
 ) -> List[SimulationResult]:
     """Run *base_config* at each offered load (one algorithm's curve)."""
     configs = run_sweep_points(
-        base_config, [base_config.algorithm], offered_loads
+        base_config, [base_config.algorithm], offered_loads, seeds=seeds
     )
     return run_points(
         configs,
         jobs=jobs,
         checkpoint_path=checkpoint,
         verbose=verbose,
+        batch_size=batch_size,
     )
 
 
@@ -57,11 +60,15 @@ def sweep_algorithms(
     verbose: bool = False,
     jobs: int = 1,
     checkpoint: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
+    batch_size: int = 32,
 ) -> Dict[str, List[SimulationResult]]:
     """One load sweep per algorithm — the data behind one paper figure.
 
     All (algorithm x load) points are scheduled in a single pool so the
-    slow algorithms and the fast ones share the workers evenly.
+    slow algorithms and the fast ones share the workers evenly.  With
+    several *seeds* and ``base_config.backend == "batch"``, each
+    (algorithm, load) point's seeds run in one lockstep batch.
     """
     names = list(algorithms)
     loads = list(offered_loads)
@@ -71,12 +78,13 @@ def sweep_algorithms(
             f"on {jobs} workers ...",
             file=sys.stderr,
         )
-    configs = run_sweep_points(base_config, names, loads)
+    configs = run_sweep_points(base_config, names, loads, seeds=seeds)
     results = run_points(
         configs,
         jobs=jobs,
         checkpoint_path=checkpoint,
         verbose=verbose,
+        batch_size=batch_size,
     )
     per_algorithm = len(results) // len(names) if names else 0
     return {

@@ -1,0 +1,1266 @@
+"""Vectorized lockstep multi-seed backend (``SimulationConfig.backend="batch"``).
+
+B simulations of one (topology, algorithm, traffic, load) configuration —
+differing only by seed — advance in lockstep, one shared cycle at a time.
+All per-virtual-channel state (ownership, buffer occupancy, worm flit
+counters, arrival/departure stamps, lifetime counters) and all per-physical-
+channel state (round-robin pointer, activity sequence) live in flat numpy
+arrays with a leading batch axis, so the transmission and ejection phases
+become a handful of array-at-once kernels instead of a Python scan per
+lane.  Routing stays scalar per active head (algorithm callbacks and rng
+tie-breaks are inherently per-message) behind a gather/scatter seam,
+reusing the object engine's candidate memoization.
+
+**Bit-identity contract.**  For every supported configuration the batch
+backend reproduces the object engine's flit schedule and
+:meth:`~repro.simulator.engine.Engine.state_fingerprint` exactly, per seed
+(the object engine stays the oracle; the cross-backend tests pin this).
+The vectorization rests on one property of the engine's *conservative*
+flow control: within a cycle, every transmit decision is a pure function
+of the post-ejection, pre-transmission state.  The snapshot timestamps
+(``last_arrival_cycle``/``last_departure_cycle``) exist precisely to make
+the object engine's sequential channel scan order-invariant — which means
+a simultaneous whole-array evaluation commits the exact same set of moves.
+
+**Unsupported configurations** raise
+:class:`~repro.util.errors.ConfigurationError`:
+
+* ``flow_control="ideal"`` — the ideal-flow-control fixpoint lets a flit
+  enter a slot freed *earlier in the same cycle*, so the committed move
+  set depends on the intra-cycle poll order (a later pass can hand a
+  freed slot to a lower-round-robin-rank VC).  That is a sequential
+  data dependence, not vectorizable bit-identically.
+* ``switching="saf"`` — store-and-forward reads the *live* upstream
+  ``flits_in`` during the pass (packet assembly can complete mid-cycle),
+  which is order-dependent even under conservative flow control.
+* ``obs=True`` / ``sanitize=True`` — per-cycle per-message hooks defeat
+  the point of batching; attach them to an object-backend run instead.
+
+Wormhole and VCT, both mux policies, and all selection policies are
+supported (conservative wormhole uses the 2-flit buffers
+``effective_buffer_depth`` already assigns it).
+
+**Performance structure.**  The per-cycle cost has three tiers:
+
+1. the transmit/eject kernels — whole-array work shared by all lanes,
+   indexed through 1-D views with absolute indices ``b*C*V + flat``;
+2. the scalar seam (routing, generation, move consequences) — reads go
+   through plain-Python mirror lists (``owner``/``owned-count`` per
+   lane), and array writes from VC allocation/release are *deferred*
+   into pending lists flushed as one batched scatter per cycle just
+   before the transmit kernel (``_flush``), so the seam never pays
+   per-element numpy indexing;
+3. sparse move consequences (head arrivals, releases, injection
+   completion) — extracted by the kernel, applied scalar per lane in
+   ascending moving-channel ``active_seq`` order, which is exactly the
+   object engine's poll order over its insertion-ordered active set.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from heapq import heappush
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.routing.base import RoutingAlgorithm
+from repro.simulator.config import SimulationConfig
+from repro.simulator.injection import InjectionController
+from repro.stats.counters import SampleRecord
+from repro.topology.base import Link, Topology
+from repro.traffic.arrivals import GeometricArrivals
+from repro.traffic.base import TrafficPattern
+from repro.traffic.load import offered_load_to_rate
+from repro.util.errors import ConfigurationError, DeadlockError
+from repro.util.fingerprint import state_fingerprint as route_state_fingerprint
+from repro.util.rng import (
+    STREAM_ARRIVALS,
+    STREAM_DESTINATIONS,
+    STREAM_ROUTING,
+    RngStreams,
+)
+
+#: A routing candidate resolved to array coordinates:
+#: (flat VC index = channel * V + vc_class, channel index, vc_class, link).
+_Candidate = Tuple[int, int, int, Link]
+
+
+class _BatchMessage:
+    """One worm of one lane; mirrors :class:`repro.network.message.Message`
+    with the flit counters externalized into the engine's arrays."""
+
+    __slots__ = (
+        "msg_id",
+        "src",
+        "dst",
+        "distance",
+        "route_state",
+        "msg_class",
+        "created_at",
+        "delivered_at",
+        "path",
+        "head_node",
+        "src_flat",
+        "cached_candidates",
+        "route_seq",
+        "parked",
+        "park_epoch",
+    )
+
+    def __init__(
+        self,
+        msg_id: int,
+        src: int,
+        dst: int,
+        distance: int,
+        route_state: Any,
+        msg_class: Hashable,
+        created_at: int,
+    ) -> None:
+        self.msg_id = msg_id
+        self.src = src
+        self.dst = dst
+        self.distance = distance
+        self.route_state = route_state
+        self.msg_class = msg_class
+        self.created_at = created_at
+        self.delivered_at: Optional[int] = None
+        #: Flat VC indices currently held, oldest first (cf. Message.path).
+        self.path: Deque[int] = deque()
+        self.head_node = src
+        #: Flat index of the first-hop VC (None until allocated); the
+        #: lane's flits_to_inject counter lives in the inject array there.
+        self.src_flat: Optional[int] = None
+        self.cached_candidates: Optional[Sequence[_Candidate]] = None
+        self.route_seq = -1
+        self.parked = False
+        self.park_epoch = 0
+
+
+class _Lane:
+    """Per-seed scalar state: everything that is not a flat array."""
+
+    __slots__ = (
+        "index",
+        "off",
+        "seed",
+        "rng",
+        "rng_arrivals",
+        "rng_destinations",
+        "rng_routing",
+        "arrivals",
+        "controller",
+        "msgs",
+        "route_heap",
+        "route_seq",
+        "parked",
+        "waiters",
+        "delivering",
+        "owner_py",
+        "owned_py",
+        "cycle",
+        "in_flight",
+        "msg_counter",
+        "generated_total",
+        "delivered_total",
+        "flits_moved_total",
+        "last_progress",
+        "next_active_seq",
+        "owned_total",
+        "sample",
+        "sample_flits_base",
+        "sample_generated_base",
+        "sample_refused_base",
+        "sample_vc_base",
+        "error",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        off: int,
+        seed: int,
+        num_nodes: int,
+        num_flat: int,
+        num_channels: int,
+        injection_rate: float,
+        injection_limit: Optional[int],
+    ) -> None:
+        self.index = index
+        #: This lane's offset into the 1-D array views: index * C * V.
+        self.off = off
+        self.seed = seed
+        self.rng = RngStreams(seed)
+        self.arrivals = GeometricArrivals(num_nodes, injection_rate)
+        self.arrivals.start(0, self.rng.stream(STREAM_ARRIVALS))
+        self.controller = InjectionController(injection_limit)
+        #: Live (undelivered) messages by id; owner arrays store the ids.
+        self.msgs: Dict[int, _BatchMessage] = {}
+        self.route_heap: List[Tuple[int, _BatchMessage]] = []
+        self.route_seq = 0
+        self.parked: Dict[int, _BatchMessage] = {}
+        #: flat VC index -> [(park_epoch, message), ...] waiter lists.
+        self.waiters: Dict[int, List[Tuple[int, _BatchMessage]]] = {}
+        #: Flat VC indices delivering at their destination, in
+        #: registration order (cf. Engine._delivering).
+        self.delivering: List[int] = []
+        #: Plain-Python mirrors of the owner / per-channel owned-count
+        #: array state, so the scalar routing seam reads without numpy
+        #: scalar indexing (the arrays are batch-updated in _flush).
+        self.owner_py: List[int] = [-1] * num_flat
+        self.owned_py: List[int] = [0] * num_channels
+        self.cycle = 0
+        self.in_flight = 0
+        self.msg_counter = 0
+        self.generated_total = 0
+        self.delivered_total = 0
+        self.flits_moved_total = 0
+        self.last_progress = 0
+        self.next_active_seq = 0
+        #: Reserved VCs across the lane (drives the all-idle early-out).
+        self.owned_total = 0
+        self.sample: Optional[SampleRecord] = None
+        self.sample_flits_base = 0
+        self.sample_generated_base = 0
+        self.sample_refused_base = 0
+        self.sample_vc_base: List[int] = []
+        #: DeadlockError recorded when this lane's watchdog fired.
+        self.error: Optional[DeadlockError] = None
+        self.refresh_streams()
+
+    def refresh_streams(self) -> None:
+        self.rng_arrivals = self.rng.stream(STREAM_ARRIVALS)
+        self.rng_destinations = self.rng.stream(STREAM_DESTINATIONS)
+        self.rng_routing = self.rng.stream(STREAM_ROUTING)
+
+
+class BatchEngine:
+    """B lockstep simulation lanes over shared flat-array network state.
+
+    Array layout (``B`` lanes, ``C`` physical channels, ``V`` virtual
+    channels per channel, flat VC index ``f = c * V + v``, absolute index
+    ``a = b * C * V + f``; every [B, C*V] array also has a 1-D view used
+    with absolute indices):
+
+    ========================  =============  ==================================
+    array                     shape/dtype    meaning
+    ========================  =============  ==================================
+    ``owner``                 [B, C*V] i64   owning msg_id, -1 when free
+    ``occ/fin/fout``          [B, C*V] i32   buffer occupancy / flits in / out
+    ``la/ld``                 [B, C*V] i32   last arrival/departure cycle (-1)
+    ``carried``               [B, C*V] i64   lifetime flits carried
+    ``up``                    [B, C*V] i32   upstream flat index, -1 at source
+    ``up_abs``                [B, C*V] intp  absolute upstream index (gather)
+    ``inject``                [B, C*V] i32   source-side flits_to_inject
+    ``issrc/front/isdst``     [B, C*V] bool  source-fed / worm front / at dst
+    ``ejected``               [B, C*V] i32   flits ejected at this dst VC
+    ``rr_next``               [B, C]   i32   round-robin cursor
+    ``ch_moved/last_tx``      [B, C]         lifetime moves / last move cycle
+    ``active_seq``            [B, C]   i64   active-set insertion order
+    ``rr_key``                [B, C, V] i16  mux scan rank of each VC
+    ========================  =============  ==================================
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        seeds: Sequence[int],
+        topology: Optional[Topology] = None,
+        algorithm: Optional[RoutingAlgorithm] = None,
+        traffic: Optional[TrafficPattern] = None,
+    ) -> None:
+        if not seeds:
+            raise ConfigurationError("batch backend needs at least one seed")
+        if config.flow_control != "conservative":
+            raise ConfigurationError(
+                "the batch backend requires flow_control='conservative': "
+                "ideal flow control resolves same-cycle buffer reuse with "
+                "an order-dependent fixpoint that cannot be vectorized "
+                "bit-identically (see repro.simulator.batch)"
+            )
+        if config.switching == "saf":
+            raise ConfigurationError(
+                "the batch backend does not support switching='saf': "
+                "packet assembly completes mid-cycle, an order-dependent "
+                "condition (see repro.simulator.batch)"
+            )
+        if config.obs or config.sanitize:
+            raise ConfigurationError(
+                "the batch backend does not support obs/sanitize hooks; "
+                "use backend='object' for observed or sanitized runs"
+            )
+        if config.message_length >= 2 ** 15:
+            raise ConfigurationError(
+                "the batch backend stores flit counters as int16; "
+                f"message_length {config.message_length} does not fit"
+            )
+        self.config = config
+        self.topology = topology if topology is not None else (
+            config.build_topology()
+        )
+        self.algorithm = algorithm if algorithm is not None else (
+            config.build_algorithm(self.topology)
+        )
+        self.traffic = traffic if traffic is not None else (
+            config.build_traffic(self.topology)
+        )
+        self.injection_rate = offered_load_to_rate(
+            config.offered_load,
+            self.topology,
+            config.message_length,
+            self.traffic.mean_distance(),
+        )
+        self.seeds = list(seeds)
+
+        b = len(self.seeds)
+        c = len(self.topology.links)
+        v = self.algorithm.num_virtual_channels
+        self._b = b
+        self._c = c
+        self._v = v
+        cv = c * v
+        self._cv = cv
+        self._length = config.message_length
+        self._cap = config.effective_buffer_depth()
+        self._priority = config.mux_policy == "highest_class"
+        self._links: List[Link] = list(self.topology.links)
+
+        def flat2(dtype: Any, fill: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+            arr = np.full((b, cv), fill, dtype=dtype)
+            return arr, arr.reshape(-1)
+
+        # Flit counters are int16 (validated above: message_length fits)
+        # to halve the memory traffic of the per-cycle readiness scan.
+        self._owner, self._owner_f = flat2(np.int64, -1)
+        self._occ, self._occ_f = flat2(np.int16)
+        self._fin, self._fin_f = flat2(np.int16)
+        self._fout, self._fout_f = flat2(np.int16)
+        self._la, self._la_f = flat2(np.int32, -1)
+        self._ld, self._ld_f = flat2(np.int32, -1)
+        self._carried, self._carried_f = flat2(np.int64)
+        self._up, self._up_f = flat2(np.int32, -1)
+        # Absolute (lane-offset) upstream index for the one big gather in
+        # the transmit kernel; 0 (a valid dummy) when source-fed/unowned.
+        self._up_abs, self._up_abs_f = flat2(np.intp)
+        self._issrc, self._issrc_f = flat2(bool)
+        self._inject, self._inject_f = flat2(np.int16)
+        self._front, self._front_f = flat2(bool)
+        self._isdst, self._isdst_f = flat2(bool)
+        self._ejected, self._ejected_f = flat2(np.int16)
+
+        self._rr_next = np.zeros((b, c), dtype=np.int32)
+        self._rr_next_f = self._rr_next.reshape(-1)
+        self._ch_moved = np.zeros((b, c), dtype=np.int64)
+        self._ch_moved_f = self._ch_moved.reshape(-1)
+        self._last_tx = np.full((b, c), -1, dtype=np.int32)
+        self._last_tx_f = self._last_tx.reshape(-1)
+        self._active_seq = np.full((b, c), -1, dtype=np.int64)
+        self._active_seq_f = self._active_seq.reshape(-1)
+
+        # Mux keys are *packed*: (rank << 6) | vc_class, so one min
+        # reduction per channel yields the winning rank AND its VC (low
+        # six bits) without a separate argmin pass.  rank < V <= 63.
+        if v > 63:
+            raise ConfigurationError(
+                "the batch backend packs mux keys into 6-bit VC slots; "
+                f"{v} virtual channels per physical channel exceed 63"
+            )
+        self._sentinel = np.int16(v << 6)
+        #: Successor table for the round-robin cursor: nextv[v] = (v+1)%V.
+        self._nextv = np.arange(1, v + 1, dtype=np.int32)
+        self._nextv[v - 1] = 0
+        #: rrk_table[r] is the packed key row for cursor r.
+        vrange = np.arange(v, dtype=np.int16)
+        self._rrk_table = (
+            ((vrange[None, :] - vrange[:, None]) % v) << 6 | vrange[None, :]
+        ).astype(np.int16)
+        if self._priority:
+            # Static strict-priority key: highest class first.
+            self._rr_key = (
+                ((v - 1 - vrange) << 6 | vrange).astype(np.int16).reshape(1, 1, v)
+            )
+            self._rr_key2 = self._rr_key.reshape(1, v)
+        else:
+            # Cyclic round-robin rank (v - rr_next) mod V, maintained
+            # sparsely as rr_next moves; rr_next starts at 0 everywhere.
+            self._rr_key = np.tile(self._rrk_table[0], (b, c, 1))
+            self._rr_key2 = self._rr_key.reshape(b * c, v)
+
+        # Transmit-kernel scratch (one allocation per engine, not cycle).
+        n = b * cv
+        self._sc_ready = np.zeros(n, dtype=bool)
+        self._sc_tmp = np.zeros(n, dtype=bool)
+        self._sc_upocc = np.zeros(n, dtype=np.int16)
+        self._sc_key = np.empty((b, c, v), dtype=np.int16)
+        self._sc_min = np.empty((b, c), dtype=np.int16)
+        self._sc_min_f = self._sc_min.reshape(-1)
+        self._sc_move = np.empty(b * c, dtype=bool)
+        # "Still transmitting" mask (owned AND worm not fully received),
+        # maintained incrementally — set on allocation (_flush), cleared
+        # when the last flit lands (_transmit_kernel) or on release — so
+        # the per-cycle ready scan starts from one bool array instead of
+        # re-deriving owner >= 0 and fin < L from the wide arrays.
+        self._txable_f = np.zeros(n, dtype=bool)
+
+        self._lane_on = np.ones(b, dtype=bool)
+        self._lane_mask_f = np.ones(n, dtype=bool)
+        self._all_on = True
+
+        # Deferred allocation/release writes, flushed as one batched
+        # scatter per cycle (see _flush).  The scalar seam reads only the
+        # per-lane Python mirrors, so these can lag until the next kernel.
+        self._pend_rel: List[int] = []  # absolute indices to free
+        #: Allocation rows (abs index, msg_id, upstream flat or -1,
+        #: absolute upstream or 0, source-fed?, ends at destination?);
+        #: one tuple per reservation, unzipped into scatters by _flush.
+        self._pa_rows: List[Tuple[int, int, int, int, bool, bool]] = []
+        self._pa_act_ch: List[int] = []  # activation: absolute channel
+        self._pa_act_seq: List[int] = []  # activation: assigned seq
+
+        self.cycle = 0
+        self.lanes: List[_Lane] = [
+            _Lane(
+                index,
+                index * cv,
+                seed,
+                self.topology.num_nodes,
+                cv,
+                c,
+                self.injection_rate,
+                config.injection_limit,
+            )
+            for index, seed in enumerate(self.seeds)
+        ]
+        self._running: List[Tuple[int, _Lane]] = list(enumerate(self.lanes))
+        # Shared resolved-candidate cache, keyed like the object engine's
+        # (head node, destination, algorithm state key); identical across
+        # lanes because topology/algorithm are shared and deterministic.
+        self._resolved_cache: Dict[
+            Tuple[int, int, Hashable], Tuple[_Candidate, ...]
+        ] = {}
+        # _select scratch lists (cf. Engine._free_scratch/_best_scratch).
+        self._free_scratch: List[_Candidate] = []
+        self._best_scratch: List[_Candidate] = []
+
+    # ------------------------------------------------------------------
+    # public driving interface
+    # ------------------------------------------------------------------
+
+    @property
+    def has_running_lanes(self) -> bool:
+        return bool(self._running)
+
+    @property
+    def running_lane_indices(self) -> List[int]:
+        return [b for b, _ in self._running]
+
+    def lane_errors(self) -> Dict[int, DeadlockError]:
+        """Deadlock errors recorded per failed lane index."""
+        return {
+            lane.index: lane.error
+            for lane in self.lanes
+            if lane.error is not None
+        }
+
+    def stop_lane(self, index: int) -> None:
+        """Freeze a finished lane; the rest keep advancing in lockstep."""
+        self._running = [
+            (b, lane) for b, lane in self._running if b != index
+        ]
+        self._lane_on[index] = False
+        self._lane_mask_f = np.repeat(self._lane_on, self._cv)
+        self._all_on = False
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance every running lane by *cycles* lockstep cycles.
+
+        Idle fast-forward mirrors the object engine's: when every running
+        lane has nothing in flight, the clock jumps to the earliest
+        pending arrival across lanes (the skipped cycles touch no state
+        and no rng stream in any lane, so this is bit-identical to
+        stepping each of them).
+        """
+        end = self.cycle + cycles
+        while self.cycle < end:
+            running = self._running
+            if not running:
+                self.cycle = end
+                return
+            if all(lane.in_flight == 0 for _, lane in running):
+                next_due = min(
+                    lane.arrivals.next_due for _, lane in running
+                )
+                if next_due > self.cycle:
+                    target = next_due if next_due < end else end
+                    delta = target - self.cycle
+                    self.cycle = target
+                    for _, lane in running:
+                        lane.cycle += delta
+                    if self.cycle == end:
+                        return
+            self.step()
+
+    def step(self) -> None:
+        """One lockstep cycle: the object engine's four phases, batched."""
+        cyc = self.cycle
+        running = self._running
+        for _, lane in running:
+            if lane.arrivals.next_due <= cyc:
+                self._generate_lane(lane, cyc)
+        eject_flags: Optional[np.ndarray] = None
+        for _, lane in running:
+            if lane.delivering:
+                eject_flags = self._eject_all(cyc)
+                break
+        policy = self.config.selection_policy
+        route_flags: Dict[int, bool] = {}
+        for b, lane in running:
+            if lane.route_heap:
+                route_flags[b] = self._route_lane(lane, b, policy)
+        moves: Optional[np.ndarray] = None
+        for _, lane in running:
+            if lane.owned_total:
+                self._flush()
+                moves = self._transmit_kernel(cyc)
+                break
+        dead: List[Tuple[int, _Lane]] = []
+        threshold = self.config.deadlock_threshold
+        moves_list = moves.tolist() if moves is not None else None
+        for b, lane in running:
+            progressed = route_flags.get(b, False)
+            if moves_list is not None:
+                moved = moves_list[b]
+                if moved:
+                    lane.flits_moved_total += moved
+                    progressed = True
+            if eject_flags is not None and eject_flags[b]:
+                progressed = True
+            if progressed:
+                lane.last_progress = cyc
+            elif lane.in_flight and cyc - lane.last_progress > threshold:
+                dead.append((b, lane))
+        for b, lane in dead:
+            self._fail_lane(b, lane)
+        self.cycle = cyc + 1
+        for _, lane in self._running:
+            lane.cycle = self.cycle
+
+    def advance_streams(self, index: int) -> None:
+        """Fresh random streams for one lane (between sampling periods)."""
+        lane = self.lanes[index]
+        lane.rng.advance_epoch()
+        lane.refresh_streams()
+        lane.arrivals.reseed(self.cycle, lane.rng_arrivals)
+
+    # -- sampling --------------------------------------------------------
+
+    def start_sample(self, index: int) -> None:
+        lane = self.lanes[index]
+        assert lane.sample is None, "a sample is already active"
+        lane.sample = SampleRecord(lane.cycle)
+        lane.sample_flits_base = lane.flits_moved_total
+        lane.sample_generated_base = lane.controller.admitted
+        lane.sample_refused_base = lane.controller.refused
+        lane.sample_vc_base = self.vc_class_totals(index)
+
+    def end_sample(self, index: int) -> SampleRecord:
+        lane = self.lanes[index]
+        sample = lane.sample
+        assert sample is not None, "no sample is active"
+        sample.cycles = lane.cycle - sample.start_cycle
+        sample.flits_moved = (
+            lane.flits_moved_total - lane.sample_flits_base
+        )
+        sample.generated = (
+            lane.controller.admitted - lane.sample_generated_base
+        )
+        sample.refused = lane.controller.refused - lane.sample_refused_base
+        sample.vc_usage = [
+            total - base
+            for total, base in zip(
+                self.vc_class_totals(index), lane.sample_vc_base
+            )
+        ]
+        lane.sample = None
+        return sample
+
+    # ------------------------------------------------------------------
+    # phase 1: generation (scalar per lane; identical to the object path)
+    # ------------------------------------------------------------------
+
+    def _generate_lane(self, lane: _Lane, cycle: int) -> None:
+        due = lane.arrivals.pop_due(cycle, lane.rng_arrivals)
+        rng_dest = lane.rng_destinations
+        traffic = self.traffic
+        for node in due:
+            dst = traffic.sample_destination(node, rng_dest)
+            if dst is not None:
+                self._inject_lane(lane, node, dst, cycle)
+
+    def _inject_lane(
+        self, lane: _Lane, src: int, dst: int, cycle: int
+    ) -> bool:
+        algorithm = self.algorithm
+        state = algorithm.new_state(src, dst)
+        msg_class = algorithm.message_class(src, dst, state)
+        if not lane.controller.try_admit(src, msg_class):
+            return False
+        message = _BatchMessage(
+            msg_id=lane.msg_counter,
+            src=src,
+            dst=dst,
+            distance=self.topology.distance(src, dst),
+            route_state=state,
+            msg_class=msg_class,
+            created_at=cycle,
+        )
+        lane.msg_counter += 1
+        lane.generated_total += 1
+        lane.in_flight += 1
+        lane.msgs[message.msg_id] = message
+        self._enqueue_route(lane, message)
+        return True
+
+    # ------------------------------------------------------------------
+    # phase 2: ejection (array kernel + scalar completions)
+    # ------------------------------------------------------------------
+
+    def _eject_all(self, cycle: int) -> np.ndarray:
+        """Consume settled destination flits across all lanes at once."""
+        blocks_a: List[np.ndarray] = []
+        for _, lane in self._running:
+            if lane.delivering:
+                entries = np.asarray(lane.delivering, dtype=np.intp)
+                entries += lane.off
+                blocks_a.append(entries)
+        ea = blocks_a[0] if len(blocks_a) == 1 else np.concatenate(blocks_a)
+        flags, comp_a = self._eject_kernel(ea, cycle)
+        if comp_a.size:
+            cv = self._cv
+            completed: Dict[int, Set[int]] = {}
+            for a in comp_a.tolist():
+                b, f = divmod(a, cv)
+                lane = self.lanes[b]
+                self._complete(lane, f)
+                completed.setdefault(b, set()).add(f)
+            for b, done in completed.items():
+                lane = self.lanes[b]
+                lane.delivering = [
+                    f for f in lane.delivering if f not in done
+                ]
+        return flags
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def _eject_kernel(
+        self, ea: np.ndarray, cycle: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Array-at-once ejection over the gathered delivering VCs.
+
+        Only settled flits (present since the start of the cycle) are
+        consumed; ejection never stamps last_departure_cycle, so the
+        freed slots are visible to this same cycle's transmission — both
+        exactly as in Engine._eject.
+        """
+        occ_f = self._occ_f
+        settled = occ_f[ea] - (self._la_f[ea] == cycle)
+        pos = settled > 0
+        pa = ea[pos]
+        ps = settled[pos]
+        occ_f[pa] -= ps
+        self._fout_f[pa] += ps
+        ej_new = self._ejected_f[pa] + ps
+        self._ejected_f[pa] = ej_new
+        flags = np.zeros(self._b, dtype=bool)
+        flags[pa // self._cv] = True
+        comp = ej_new >= self._length
+        return flags, pa[comp]
+
+    def _complete(self, lane: _Lane, flat: int) -> None:
+        message = lane.msgs[lane.owner_py[flat]]
+        message.delivered_at = lane.cycle
+        self._release(lane, flat, message)
+        assert not message.path, "delivered message still holds channels"
+        lane.in_flight -= 1
+        lane.delivered_total += 1
+        del lane.msgs[message.msg_id]
+        sample = lane.sample
+        if sample is not None:
+            sample.deliveries.append(
+                (message.delivered_at - message.created_at,
+                 message.distance)
+            )
+
+    # ------------------------------------------------------------------
+    # phase 3: routing / VC allocation (scalar per lane, parked waiters)
+    # ------------------------------------------------------------------
+
+    def _enqueue_route(self, lane: _Lane, message: _BatchMessage) -> None:
+        seq = lane.route_seq
+        lane.route_seq = seq + 1
+        message.route_seq = seq
+        heappush(lane.route_heap, (seq, message))
+
+    def _route_lane(self, lane: _Lane, b: int, policy: str) -> bool:
+        """Port of Engine._route_active with parking always on.
+
+        Parking is invisible to the flit schedule (a blocked request
+        consumes no rng), and the batch backend never attaches the
+        observer/sanitizer hooks that would need per-cycle re-polls.
+        """
+        heap = lane.route_heap
+        batch = sorted(heap)  # unique seqs: messages never compared
+        heap.clear()
+        rng = lane.rng_routing
+        owner_py = lane.owner_py
+        progressed = False
+        for _seq, message in batch:
+            candidates = message.cached_candidates
+            if candidates is None:
+                candidates = self._memo_candidates(message)
+                message.cached_candidates = candidates
+            # Inlined singleton fast path (deterministic algorithms and
+            # single-free-candidate states dominate; no rng draw).
+            if len(candidates) == 1:
+                chosen: Optional[_Candidate] = candidates[0]
+                if owner_py[candidates[0][0]] >= 0:
+                    chosen = None
+            else:
+                chosen = self._select(lane, candidates, policy, rng)
+            if chosen is None:
+                self._park(lane, message, candidates)
+                continue
+            self._allocate(lane, b, message, chosen)
+            progressed = True
+        return progressed
+
+    def _memo_candidates(
+        self, message: _BatchMessage
+    ) -> Sequence[_Candidate]:
+        """Resolved candidates via the shared memo (cf. Engine version)."""
+        algorithm = self.algorithm
+        key = algorithm.state_key(message.route_state)
+        v = self._v
+        node = message.head_node
+        if key is None:
+            choices = algorithm.candidates(
+                message.route_state, node, message.dst
+            )
+            return [
+                (link.index * v + vc_class, link.index, vc_class, link)
+                for link, vc_class in choices
+            ]
+        cache = self._resolved_cache
+        entry = (node, message.dst, key)
+        resolved = cache.get(entry)
+        if resolved is None:
+            choices = algorithm.candidates_cached(
+                message.route_state, node, message.dst
+            )
+            resolved = tuple(
+                (link.index * v + vc_class, link.index, vc_class, link)
+                for link, vc_class in choices
+            )
+            cache[entry] = resolved
+        return resolved
+
+    def _select(
+        self,
+        lane: _Lane,
+        candidates: Sequence[_Candidate],
+        policy: str,
+        rng: random.Random,
+    ) -> Optional[_Candidate]:
+        """Port of Engine._select over the lane's mirror state.
+
+        rng consumption is identical: a randrange fires exactly when the
+        object engine's would (>=2 free candidates under "random", or a
+        least-multiplexed tie), so the routing stream stays in lockstep.
+        """
+        owner_py = lane.owner_py
+        if len(candidates) == 1:
+            entry = candidates[0]
+            return entry if owner_py[entry[0]] < 0 else None
+        free = self._free_scratch
+        free.clear()
+        for entry in candidates:
+            if owner_py[entry[0]] < 0:
+                free.append(entry)
+        if not free:
+            return None
+        if len(free) == 1 or policy == "first":
+            return free[0]
+        if policy == "random":
+            return free[rng.randrange(len(free))]
+        owned_py = lane.owned_py
+        best = self._best_scratch
+        best.clear()
+        best_load = owned_py[free[0][1]]
+        for entry in free:
+            load = owned_py[entry[1]]
+            if load < best_load:
+                best_load = load
+                best.clear()
+                best.append(entry)
+            elif load == best_load:
+                best.append(entry)
+        if len(best) == 1:
+            return best[0]
+        return best[rng.randrange(len(best))]
+
+    def _park(
+        self,
+        lane: _Lane,
+        message: _BatchMessage,
+        candidates: Sequence[_Candidate],
+    ) -> None:
+        epoch = message.park_epoch + 1
+        message.park_epoch = epoch
+        message.parked = True
+        lane.parked[message.msg_id] = message
+        waiters = lane.waiters
+        for entry in candidates:
+            bucket = waiters.get(entry[0])
+            if bucket is None:
+                waiters[entry[0]] = [(epoch, message)]
+            else:
+                bucket.append((epoch, message))
+
+    def _wake_waiters(self, lane: _Lane, flat: int) -> None:
+        waiters = lane.waiters.pop(flat, None)
+        if waiters is None:
+            return
+        heap = lane.route_heap
+        parked = lane.parked
+        for epoch, message in waiters:
+            if message.parked and message.park_epoch == epoch:
+                message.parked = False
+                del parked[message.msg_id]
+                heappush(heap, (message.route_seq, message))
+
+    def _allocate(
+        self,
+        lane: _Lane,
+        b: int,
+        message: _BatchMessage,
+        chosen: _Candidate,
+    ) -> None:
+        """Reserve a VC for the message's next hop (cf. Engine._allocate +
+        VirtualChannel.reserve).  Mirrors update immediately; the array
+        writes are deferred into the pending lists for _flush."""
+        flat, channel, vc_class, link = chosen
+        current = message.head_node
+        msg_id = message.msg_id
+        off = lane.off
+        lane.owner_py[flat] = msg_id
+        path = message.path
+        if path:
+            up = path[-1]
+            self._pa_rows.append(
+                (off + flat, msg_id, up, off + up, False,
+                 link.dst == message.dst)
+            )
+        else:
+            message.src_flat = flat
+            self._pa_rows.append(
+                (off + flat, msg_id, -1, 0, True, link.dst == message.dst)
+            )
+        count = lane.owned_py[channel] + 1
+        lane.owned_py[channel] = count
+        if count == 1:
+            self._pa_act_ch.append(b * self._c + channel)
+            self._pa_act_seq.append(lane.next_active_seq)
+            lane.next_active_seq += 1
+        lane.owned_total += 1
+        path.append(flat)
+        message.head_node = link.dst
+        message.route_state = self.algorithm.advance(
+            message.route_state, current, link, vc_class
+        )
+        message.cached_candidates = None
+
+    def _flush(self) -> None:
+        """Apply the deferred allocation/release writes as array scatters.
+
+        Releases apply before allocations so a VC freed in one cycle and
+        re-reserved the next lands owned.  Stale per-VC fields on *free*
+        cells (front/up/issrc from a previous owner) are harmless: every
+        kernel read of them is masked by ``owner >= 0``.
+        """
+        pend_rel = self._pend_rel
+        if pend_rel:
+            rel = np.asarray(pend_rel, dtype=np.intp)
+            self._owner_f[rel] = -1
+            self._txable_f[rel] = False
+            pend_rel.clear()
+        rows = self._pa_rows
+        if rows:
+            c_abs, c_id, c_up, c_up_abs, c_src, c_dst = zip(*rows)
+            a = np.asarray(c_abs, dtype=np.intp)
+            self._owner_f[a] = np.asarray(c_id, dtype=np.int64)
+            self._txable_f[a] = True
+            self._fin_f[a] = 0
+            self._fout_f[a] = 0
+            self._la_f[a] = -1
+            self._ld_f[a] = -1
+            self._ejected_f[a] = 0
+            src = np.asarray(c_src, dtype=bool)
+            self._up_f[a] = np.asarray(c_up, dtype=np.int32)
+            up_abs = np.asarray(c_up_abs, dtype=np.intp)
+            self._up_abs_f[a] = up_abs
+            self._issrc_f[a] = src
+            self._front_f[a] = True
+            # The upstream VC stops being the worm front (its head moved
+            # on); disjoint from `a` — a message allocates at most one
+            # hop per cycle, so an upstream hop predates this batch.
+            self._front_f[up_abs[~src]] = False
+            self._isdst_f[a] = np.asarray(c_dst, dtype=bool)
+            self._inject_f[a[src]] = self._length
+            rows.clear()
+        if self._pa_act_ch:
+            self._active_seq_f[
+                np.asarray(self._pa_act_ch, dtype=np.intp)
+            ] = np.asarray(self._pa_act_seq, dtype=np.int64)
+            self._pa_act_ch.clear()
+            self._pa_act_seq.clear()
+
+    # ------------------------------------------------------------------
+    # phase 4: transmission (the vectorized core)
+    # ------------------------------------------------------------------
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def _transmit_kernel(self, cycle: int) -> Optional[np.ndarray]:
+        """Array-at-once conservative transmit over every lane and channel.
+
+        Readiness of a VC (owned, worm not fully through, target space,
+        a settled upstream flit or a source flit to inject) is evaluated
+        simultaneously against the post-ejection state; per channel, the
+        ready VC minimizing the cyclic round-robin rank (or the strict
+        class priority) moves one flit.  Both match the object engine's
+        sequential scan exactly because conservative flow control makes
+        the scan's outcome order-invariant (see the module docstring).
+
+        The caller applies the returned sparse events via
+        _transmit_epilogue; lane_moves is the per-lane flit count.
+        """
+        b = self._b
+        c = self._c
+        v = self._v
+        ready = self._sc_ready
+        tmp = self._sc_tmp
+        length = self._length
+        np.copyto(ready, self._txable_f)
+        np.less(self._occ_f, self._cap, out=tmp)
+        np.logical_and(ready, tmp, out=ready)
+        # Supply: the settled upstream occupancy, or the remaining source
+        # flits on source-fed VCs (one gather + one masked overwrite).
+        np.take(self._occ_f, self._up_abs_f, out=self._sc_upocc)
+        np.copyto(self._sc_upocc, self._inject_f, where=self._issrc_f)
+        np.greater(self._sc_upocc, 0, out=tmp)
+        np.logical_and(ready, tmp, out=ready)
+        if not self._all_on:
+            np.logical_and(ready, self._lane_mask_f, out=ready)
+
+        # Per-channel winner: the ready VC with the smallest packed mux
+        # key.  One min reduction delivers the rank and (low six bits)
+        # the winning VC; an all-sentinel channel has no mover.
+        key = self._sc_key
+        ready3 = ready.reshape(b, c, v)
+        np.copyto(key, self._sentinel)
+        np.copyto(key, self._rr_key, where=ready3)
+        minv = self._sc_min
+        key.min(axis=2, out=minv)
+        np.less(self._sc_min_f, self._sentinel, out=self._sc_move)
+        mv = np.nonzero(self._sc_move)[0]  # absolute channel: b*C + c
+        if mv.shape[0] == 0:
+            return None
+        vm = self._sc_min_f[mv] & 63
+        bm = mv // c
+        flat = (mv - bm * c) * v + vm
+        abs_m = bm * self._cv + flat
+
+        # -- commit: target VC side -----------------------------------
+        self._occ_f[abs_m] += 1
+        fin_new = self._fin_f[abs_m] + 1
+        self._fin_f[abs_m] = fin_new
+        self._txable_f[abs_m[fin_new == length]] = False
+        self._la_f[abs_m] = cycle
+        self._carried_f[abs_m] += 1
+        self._ch_moved_f[mv] += 1
+        self._last_tx_f[mv] = cycle
+        if not self._priority:
+            rrn = self._nextv[vm]
+            self._rr_next_f[mv] = rrn
+            self._rr_key2[mv] = self._rrk_table[rrn]
+
+        # -- commit: upstream / source side ---------------------------
+        srcm = self._issrc_f[abs_m]
+        upm = ~srcm
+        up_g = self._up_f[abs_m]
+        ua = self._up_abs_f[abs_m][upm]
+        self._occ_f[ua] -= 1
+        fout_new = self._fout_f[ua] + 1
+        self._fout_f[ua] = fout_new
+        self._ld_f[ua] = cycle
+        sa = abs_m[srcm]
+        inj_new = self._inject_f[sa] - 1
+        self._inject_f[sa] = inj_new
+
+        lane_moves = np.bincount(bm, minlength=b)
+
+        # -- sparse move consequences ---------------------------------
+        # Events pack into one int8 code per move (bit0 route request,
+        # bit1 delivery, bit2 injection-complete, bit3 upstream release)
+        # so the scalar epilogue walks a single list.
+        k = abs_m.shape[0]
+        head = fin_new == 1
+        isdst_g = self._isdst_f[abs_m]
+        code = np.zeros(k, dtype=np.int8)
+        code[head & self._front_f[abs_m] & ~isdst_g] = 1
+        code[head & isdst_g] = 2
+        code[srcm] |= (inj_new == 0) << 2
+        code[upm] |= ((self._occ_f[ua] == 0) & (fout_new >= length)) << 3
+        idx = np.nonzero(code)[0]
+        if idx.shape[0] == 0:
+            return lane_moves
+        # Object-engine order: events fire as their channels are polled,
+        # in ascending active-set insertion order within each lane.
+        seqs = self._active_seq_f[mv]
+        sel = idx[np.lexsort((seqs[idx], bm[idx]))]
+        self._transmit_epilogue(
+            bm[sel],
+            flat[sel],
+            self._owner_f[abs_m[sel]],
+            up_g[sel],
+            code[sel],
+        )
+        return lane_moves
+
+    def _transmit_epilogue(
+        self,
+        ev_b: np.ndarray,
+        ev_flat: np.ndarray,
+        ev_owner: np.ndarray,
+        ev_up: np.ndarray,
+        ev_code: np.ndarray,
+    ) -> None:
+        """Apply the scalar move consequences in object-engine order.
+
+        Per move the order matches Engine._handle_flit_arrival: the
+        head-arrival action (route request or delivery registration)
+        first, then injection-complete, then the upstream release.
+        """
+        lanes = self.lanes
+        e_b = ev_b.tolist()
+        e_flat = ev_flat.tolist()
+        e_owner = ev_owner.tolist()
+        e_up = ev_up.tolist()
+        e_code = ev_code.tolist()
+        for j in range(len(e_b)):
+            lane = lanes[e_b[j]]
+            message = lane.msgs[e_owner[j]]
+            code = e_code[j]
+            if code & 1:
+                self._enqueue_route(lane, message)
+            elif code & 2:
+                lane.delivering.append(e_flat[j])
+            if code & 4:
+                lane.controller.injection_complete(
+                    message.src, message.msg_class
+                )
+            if code & 8:
+                self._release(lane, e_up[j], message)
+
+    # ------------------------------------------------------------------
+    # shared bookkeeping
+    # ------------------------------------------------------------------
+
+    def _release(
+        self, lane: _Lane, flat: int, message: _BatchMessage
+    ) -> None:
+        popped = message.path.popleft()
+        assert popped == flat, "releasing out of tail order"
+        lane.owner_py[flat] = -1
+        lane.owned_py[flat // self._v] -= 1
+        lane.owned_total -= 1
+        self._pend_rel.append(lane.off + flat)
+        self._wake_waiters(lane, flat)
+
+    def _fail_lane(self, b: int, lane: _Lane) -> None:
+        """Record a deadlock on one lane and freeze it; others continue."""
+        stuck = []
+        waiting: List[_BatchMessage] = [
+            entry[1] for entry in sorted(lane.route_heap)
+        ]
+        waiting.extend(lane.parked.values())
+        for message in waiting[:8]:
+            stuck.append(
+                f"msg#{message.msg_id} {message.src}->{message.dst} "
+                f"head at {message.head_node}"
+            )
+        summary = (
+            f"no progress for {self.config.deadlock_threshold} cycles at "
+            f"cycle {self.cycle} with {lane.in_flight} messages in flight "
+            f"(algorithm={self.algorithm.name}); sample of waiting "
+            f"messages: {'; '.join(stuck) or 'none in route queue'}"
+        )
+        lane.error = DeadlockError(
+            summary
+            + f" [batch lane {b}, seed {lane.seed}]"
+            + " (run with backend='object' and "
+            "SimulationConfig.sanitize=True for a wait-for-graph "
+            "diagnosis)"
+        )
+        self.stop_lane(b)
+
+    # ------------------------------------------------------------------
+    # introspection (mirrors the object engine's helpers, per lane)
+    # ------------------------------------------------------------------
+
+    def vc_class_totals(self, index: int) -> List[int]:
+        """Lifetime flits carried per VC class in one lane."""
+        carried = self._carried[index].reshape(self._c, self._v)
+        return [int(x) for x in carried.sum(axis=0)]
+
+    def network_flits(self, index: int) -> int:
+        """Flits currently buffered in one lane's network."""
+        return int(self._occ[index].sum())
+
+    def _msg_flits_to_inject(self, b: int, message: _BatchMessage) -> int:
+        src_flat = message.src_flat
+        if src_flat is None:
+            return self._length  # first hop never allocated yet
+        lane = self.lanes[b]
+        if lane.owner_py[src_flat] == message.msg_id:
+            return int(self._inject[b, src_flat])
+        return 0  # source VC drained and released: all flits left
+
+    def _msg_flits_ejected(self, b: int, message: _BatchMessage) -> int:
+        path = message.path
+        if not path:
+            return 0
+        return int(self._ejected[b, path[-1]])
+
+    def _iter_live_messages(self, lane: _Lane) -> Iterator[_BatchMessage]:
+        # lane.msgs holds exactly the undelivered messages (inserted at
+        # admission, removed at completion), which is the set
+        # Engine._iter_live_messages walks via queue/heap/parked/owners.
+        return iter(lane.msgs.values())
+
+    def conservation_check(self, index: int) -> bool:
+        """Invariant: every admitted flit is accounted for, per lane."""
+        self._flush()
+        lane = self.lanes[index]
+        length = self._length
+        expected = lane.generated_total * length
+        at_source = 0
+        ejected = 0
+        for message in self._iter_live_messages(lane):
+            at_source += self._msg_flits_to_inject(index, message)
+            ejected += self._msg_flits_ejected(index, message)
+        delivered_flits = lane.delivered_total * length
+        return expected == (
+            at_source + self.network_flits(index) + ejected
+            + delivered_flits
+        )
+
+    def state_fingerprint(self, index: int) -> Tuple:
+        """Per-lane digest, field-identical to Engine.state_fingerprint.
+
+        The cross-backend tests compare this tuple against an object
+        engine driven with the same config and this lane's seed.
+        """
+        self._flush()
+        lane = self.lanes[index]
+        b = index
+        v = self._v
+        own_l = lane.owner_py
+        occ_l = self._occ[b].tolist()
+        fin_l = self._fin[b].tolist()
+        fout_l = self._fout[b].tolist()
+        la_l = self._la[b].tolist()
+        ld_l = self._ld[b].tolist()
+        car_l = self._carried[b].tolist()
+        chm_l = self._ch_moved[b].tolist()
+        rr_l = self._rr_next[b].tolist()
+        ltx_l = self._last_tx[b].tolist()
+        channels_fp = []
+        for c in range(self._c):
+            base = c * v
+            vcs_fp = []
+            for vc_class in range(v):
+                f = base + vc_class
+                owner_id = own_l[f]
+                if owner_id >= 0 or car_l[f]:
+                    vcs_fp.append(
+                        (
+                            vc_class,
+                            owner_id if owner_id >= 0 else None,
+                            occ_l[f],
+                            fin_l[f],
+                            fout_l[f],
+                            la_l[f],
+                            ld_l[f],
+                            car_l[f],
+                        )
+                    )
+            channels_fp.append(
+                (chm_l[c], rr_l[c], ltx_l[c], tuple(vcs_fp))
+            )
+        pending = sorted(
+            [entry[1].msg_id for entry in lane.route_heap]
+            + list(lane.parked)
+        )
+        messages_fp = tuple(
+            sorted(
+                (
+                    message.msg_id,
+                    message.src,
+                    message.dst,
+                    message.created_at,
+                    self._msg_flits_to_inject(b, message),
+                    self._msg_flits_ejected(b, message),
+                    message.head_node,
+                    route_state_fingerprint(message.route_state),
+                )
+                for message in self._iter_live_messages(lane)
+            )
+        )
+        delivering = tuple(
+            (f // v, f % v) for f in lane.delivering
+        )
+        controller = lane.controller
+        return (
+            lane.cycle,
+            lane.msg_counter,
+            lane.flits_moved_total,
+            lane.generated_total,
+            lane.delivered_total,
+            lane.in_flight,
+            lane.arrivals.next_due,
+            controller.admitted,
+            controller.refused,
+            tuple(sorted(controller._outstanding.items())),
+            tuple(pending),
+            messages_fp,
+            delivering,
+            tuple(channels_fp),
+            lane.rng.stream(STREAM_ARRIVALS).getstate(),
+            lane.rng.stream(STREAM_DESTINATIONS).getstate(),
+            lane.rng.stream(STREAM_ROUTING).getstate(),
+        )
+
+
+__all__ = ["BatchEngine"]

@@ -43,6 +43,15 @@ MUX_POLICIES = ("round_robin", "highest_class")
 #: (pinned by the golden-trace tests).
 SCHEDULERS = ("scan", "active")
 
+#: Simulation backends: "object" is the per-object Python engine
+#: (:class:`repro.simulator.engine.Engine`); "batch" is the vectorized
+#: flat-array engine (:class:`repro.simulator.batch.BatchEngine`) that
+#: advances a whole batch of seeds of one configuration in lockstep.
+#: Per-seed results are bit-identical between the two (fingerprint and
+#: golden-trace tests); the batch backend requires conservative flow
+#: control and wormhole/VCT switching (see the batch module docstring).
+BACKENDS = ("object", "batch")
+
 
 @dataclass
 class SimulationConfig:
@@ -85,6 +94,11 @@ class SimulationConfig:
     #: regime); "scan" is the seed engine's full per-cycle rescan.  The
     #: flit schedule is bit-identical either way (golden-trace tests).
     scheduler: str = "active"
+    #: Simulation backend: "object" runs one seed per engine; "batch"
+    #: runs whole seed-batches in lockstep over flat numpy arrays
+    #: (bit-identical per seed; requires conservative flow control and
+    #: wormhole/VCT switching, and ignores `scheduler`).
+    backend: str = "object"
 
     # -- traffic ------------------------------------------------------------
     traffic: str = "uniform"
@@ -146,6 +160,18 @@ class SimulationConfig:
         require(self.scheduler in SCHEDULERS,
                 f"scheduler must be one of {SCHEDULERS}, "
                 f"got {self.scheduler!r}")
+        require(self.backend in BACKENDS,
+                f"backend must be one of {BACKENDS}, "
+                f"got {self.backend!r}")
+        if self.backend == "batch":
+            require(self.flow_control == "conservative",
+                    "backend='batch' requires flow_control='conservative' "
+                    "(ideal flow control's same-cycle fixpoint is order-"
+                    "dependent and cannot be vectorized bit-identically)")
+            require(self.switching != "saf",
+                    "backend='batch' does not support switching='saf'")
+            require(not self.obs and not self.sanitize,
+                    "backend='batch' does not support obs/sanitize hooks")
         require_positive(self.message_length, "message_length")
         require_non_negative(self.offered_load, "offered_load")
         require_positive(self.warmup_cycles, "warmup_cycles")
@@ -201,6 +227,7 @@ class SimulationConfig:
 
 
 __all__ = [
+    "BACKENDS",
     "SCHEDULERS",
     "SELECTION_POLICIES",
     "SWITCHING_MODES",

@@ -2,6 +2,8 @@
 
 from copy import deepcopy
 
+import numpy as np
+
 LABELS = ("a", "b")
 
 
@@ -13,3 +15,19 @@ def tick(state):
     legacy = "%s" % state
     table = [label for label in LABELS]
     return snapshot, message, text, legacy, table
+
+
+class Kernel:
+    def __init__(self, lanes):
+        self.occupancy = np.zeros(lanes, dtype=np.int16)
+
+    # repro: hot
+    def transmit(self, credits):
+        ready = np.nonzero(credits)[0]
+        total = 0
+        for lane in ready:  # per-element loop over the batch axis
+            total += int(self.occupancy[lane])
+        for index in range(len(ready)):
+            total -= int(ready[index])
+        pairs = [(lane, 1) for lane in enumerate(self.occupancy)]
+        return total, pairs

@@ -1,4 +1,7 @@
-"""Fixture: HOT001 silent — a hot function that only indexes and adds."""
+"""Fixture: HOT001 silent — a hot function that only indexes and adds,
+and a hot numpy kernel that stays whole-array."""
+
+import numpy as np
 
 
 # repro: hot
@@ -9,3 +12,18 @@ def tick(counters, deltas):
         total += delta
     scaled = [value * 2 for value in deltas]
     return total, scaled
+
+
+class Kernel:
+    def __init__(self, lanes):
+        self.occupancy = np.zeros(lanes, dtype=np.int16)
+        self.capacity = np.full(lanes, 2, dtype=np.int16)
+
+    # repro: hot
+    def transmit(self, credits):
+        ready = np.less(self.occupancy, self.capacity)
+        np.logical_and(ready, credits, out=ready)
+        moved = np.nonzero(ready)[0]
+        self.occupancy[moved] += 1
+        # Sanctioned scalar seam: iterate the Python list, not the array.
+        return moved.tolist()

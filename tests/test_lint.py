@@ -116,6 +116,18 @@ class TestRulesFire:
         assert ".format()" in messages
         assert "%-formatting" in messages
         assert "loop-invariant" in messages
+        # The numpy sub-check: direct iteration, range(len(...)), and
+        # enumerate() forwarding must all read as per-element loops.
+        numpy_loops = [
+            finding
+            for finding in analyze_fixture(BAD, "hot001_alloc.py")
+            if "numpy array" in finding.message
+        ]
+        assert len(numpy_loops) == 3
+        assert all(
+            "defeats vectorization" in finding.message
+            for finding in numpy_loops
+        )
 
     def test_path_scoping_disarms_core_rules(self):
         """The same wall-clock source is fine outside the core."""
