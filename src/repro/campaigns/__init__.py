@@ -1,0 +1,70 @@
+"""repro.campaigns — declarative campaigns over a memoized result store.
+
+The pieces, layered bottom-up:
+
+* :mod:`repro.campaigns.identity` — content addresses of simulation
+  points (``campaign_signature`` / ``point_key`` / ``result_key``).
+* :mod:`repro.campaigns.store` — :class:`ResultStore`, the append-only
+  content-addressed store shared across campaigns.
+* :mod:`repro.campaigns.spec` — :class:`CampaignSpec`, the declarative
+  (topology x traffic x algorithm x load x seed) grid.
+* :mod:`repro.campaigns.executors` — the executor seam (serial /
+  process pool) over :func:`repro.experiments.parallel.run_points`.
+* :mod:`repro.campaigns.orchestrator` — :func:`run_campaign`.
+* :mod:`repro.campaigns.export` — CSV/tables straight from the store.
+* :mod:`repro.campaigns.cli` — the ``repro-campaign`` entry point.
+
+Exports resolve lazily: :mod:`repro.experiments.parallel` imports the
+store layer from here, so importing this package must not (circularly)
+pull in the executor layer.
+"""
+
+from types import MappingProxyType
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignReport",
+    "CampaignSpec",
+    "ResultStore",
+    "SerialExecutor",
+    "TrafficSpec",
+    "campaign_signature",
+    "make_executor",
+    "point_key",
+    "run_campaign",
+]
+
+# Read-only lazy-import table (immutable so ProcessPool workers can never
+# drift from the parent — the DET005 worker-shared-state discipline).
+_LAZY_EXPORTS = MappingProxyType(
+    {
+        "CampaignExecutor": ("repro.campaigns.executors", "CampaignExecutor"),
+        "CampaignReport": ("repro.campaigns.orchestrator", "CampaignReport"),
+        "CampaignSpec": ("repro.campaigns.spec", "CampaignSpec"),
+        "ResultStore": ("repro.campaigns.store", "ResultStore"),
+        "SerialExecutor": ("repro.campaigns.executors", "SerialExecutor"),
+        "TrafficSpec": ("repro.campaigns.spec", "TrafficSpec"),
+        "campaign_signature": (
+            "repro.campaigns.identity",
+            "campaign_signature",
+        ),
+        "make_executor": ("repro.campaigns.executors", "make_executor"),
+        "point_key": ("repro.campaigns.identity", "point_key"),
+        "run_campaign": ("repro.campaigns.orchestrator", "run_campaign"),
+    }
+)
+
+
+def __getattr__(name: str) -> object:
+    """Lazily resolve exports so the store layer imports stay acyclic."""
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(
+            f"module 'repro.campaigns' has no attribute {name!r}"
+        )
+    module_name, attr = target
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,369 @@
+"""Content-addressed, append-only store of simulation results.
+
+One :class:`ResultStore` file holds one JSON record per finished
+simulation point, keyed by the point's content address
+(:func:`~repro.campaigns.identity.result_key`).  The store is shared
+across campaigns: any campaign whose expansion contains a previously
+simulated config gets that point served from disk instead of
+re-simulated, bit-identical to a fresh run (results are a pure function
+of the config).
+
+Durability discipline:
+
+* **Append-only.**  Recording a point appends one line; the bytes
+  written per point are bounded by that record's own size, never by the
+  number of points already stored (the earlier checkpoint format
+  re-serialized everything on every record — O(N^2) I/O over a
+  campaign).  A torn final line from a killed process is recovered on
+  the next load.
+* **Nothing untrusted is silently overwritten.**  Corrupt lines and
+  records with an unknown schema version are surfaced with a warning,
+  and the original file is preserved as a ``<path>.corrupt`` /
+  ``<path>.stale`` sidecar before the store rewrites itself from the
+  salvageable records.
+* **Collision hygiene.**  Every record carries the config dict it was
+  simulated from; a lookup whose config disagrees with the stored one
+  (a key collision, or a corrupted record) is surfaced and treated as a
+  miss rather than served wrong data, and an append that would pair an
+  existing key with a different config raises.
+
+Legacy ``repro-sweep --checkpoint`` files (schema v1: one JSON document
+rewritten per point) are migrated in place on first open, so existing
+campaigns resume transparently through the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import warnings
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.campaigns.identity import (
+    campaign_signature,
+    config_record_dict,
+    point_key,
+    result_key,
+)
+from repro.simulator.config import SimulationConfig
+from repro.stats.summary import SimulationResult
+from repro.util.errors import ReproError
+
+#: Store record schema version ("v" field of every record line).
+STORE_VERSION = 2
+
+#: Schema version of the legacy whole-file checkpoint format that
+#: :class:`ResultStore` migrates in place.
+LEGACY_CHECKPOINT_VERSION = 1
+
+
+class StoreWarning(UserWarning):
+    """A campaign-store file needed recovery or was not trusted."""
+
+
+class StoreIntegrityError(ReproError):
+    """Two different configs mapped to the same store key."""
+
+
+def _quarantine(path: str, suffix: str, reason: str) -> None:
+    """Preserve an untrusted store file as a sidecar and warn about it."""
+    sidecar = path + suffix
+    try:
+        shutil.copy2(path, sidecar)
+    except OSError as error:  # pragma: no cover - copy failure is exotic
+        warnings.warn(
+            f"could not preserve untrusted store file {path!r}: {error}",
+            StoreWarning,
+            stacklevel=3,
+        )
+        return
+    warnings.warn(
+        f"{reason}; the original file is preserved as {sidecar!r}",
+        StoreWarning,
+        stacklevel=3,
+    )
+
+
+class ResultStore:
+    """Append-only result store over one JSONL file.
+
+    *legacy_signature* applies only when *path* holds a legacy (v1)
+    whole-file checkpoint: a legacy file recorded by a **different**
+    campaign is quarantined as ``<path>.stale`` instead of migrated
+    (matching the old checkpoint's trust rule).  ``None`` migrates any
+    structurally valid legacy file.
+    """
+
+    def __init__(
+        self, path: str, legacy_signature: Optional[str] = None
+    ) -> None:
+        self.path = path
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._decoded: Dict[str, SimulationResult] = {}
+        self._load(legacy_signature)
+
+    # -- loading ---------------------------------------------------------
+
+    def _load(self, legacy_signature: Optional[str]) -> None:
+        if not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path, encoding="utf-8") as stream:
+                text = stream.read()
+        except OSError as error:
+            _quarantine(
+                self.path,
+                ".corrupt",
+                f"store file {self.path!r} is unreadable ({error}); "
+                "starting fresh",
+            )
+            return
+        if not text.strip():
+            return
+
+        first_line = text.splitlines()[0]
+        try:
+            first = json.loads(first_line)
+        except json.JSONDecodeError:
+            first = None
+        if isinstance(first, dict) and "points" in first:
+            self._adopt_legacy(first, legacy_signature)
+            return
+
+        lines = [line for line in text.splitlines() if line.strip()]
+        bad = 0
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("v") != STORE_VERSION
+                or record.get("kind") != "point"
+                or "key" not in record
+            ):
+                bad += 1
+                continue
+            # Last record wins: a re-append (e.g. a legacy record
+            # upgraded with its config) shadows the earlier line.
+            self._records[record["key"]] = record
+        if bad:
+            _quarantine(
+                self.path,
+                ".corrupt",
+                f"store file {self.path!r}: skipped {bad} corrupt or "
+                f"unrecognized record line(s) of {len(lines)}",
+            )
+            self._rewrite()
+
+    def _adopt_legacy(
+        self, data: Dict[str, Any], legacy_signature: Optional[str]
+    ) -> None:
+        """Migrate a v1 whole-file checkpoint into store records."""
+        if data.get("version") != LEGACY_CHECKPOINT_VERSION:
+            _quarantine(
+                self.path,
+                ".stale",
+                f"checkpoint file {self.path!r} has unknown schema "
+                f"version {data.get('version')!r}; starting fresh",
+            )
+            self._truncate()
+            return
+        signature = data.get("signature")
+        if legacy_signature is not None and signature != legacy_signature:
+            _quarantine(
+                self.path,
+                ".stale",
+                f"checkpoint file {self.path!r} was recorded by a "
+                "different campaign (signature mismatch); starting fresh",
+            )
+            self._truncate()
+            return
+        for point, payload in data.get("points", {}).items():
+            key = result_key(str(signature), point)
+            self._records[key] = {
+                "kind": "point",
+                "v": STORE_VERSION,
+                "key": key,
+                "signature": signature,
+                "point": point,
+                "config": None,  # legacy checkpoints stored no configs
+                "result": payload,
+            }
+        self._rewrite()
+
+    def _truncate(self) -> None:
+        self._rewrite()
+
+    def _rewrite(self) -> None:
+        """Atomically rewrite the file from the in-memory records.
+
+        Only used for one-time recovery/migration; the steady-state
+        write path is the append in :meth:`put_record`.
+        """
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".campaign-store-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                for record in self._records.values():
+                    stream.write(json.dumps(record) + "\n")
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # -- reading ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def signatures(self) -> Dict[str, int]:
+        """Record count per campaign signature (for ``status``)."""
+        counts: Dict[str, int] = {}
+        for record in self._records.values():
+            signature = str(record.get("signature"))
+            counts[signature] = counts.get(signature, 0) + 1
+        return counts
+
+    def _decode(self, key: str) -> SimulationResult:
+        cached = self._decoded.get(key)
+        if cached is None:
+            cached = SimulationResult.from_json_dict(
+                self._records[key]["result"]
+            )
+            self._decoded[key] = cached
+        return cached
+
+    def get_record(
+        self, signature: str, point: str
+    ) -> Optional[SimulationResult]:
+        """Result stored for one (campaign signature, point key), if any."""
+        key = result_key(signature, point)
+        if key not in self._records:
+            return None
+        return self._decode(key)
+
+    def get(self, config: SimulationConfig) -> Optional[SimulationResult]:
+        """Result stored for *config*, verified against the stored config.
+
+        A record whose stored config disagrees with *config* (a key
+        collision or a corrupted record) is surfaced with a warning and
+        treated as a miss: the store never serves a result for a config
+        it was not simulated from.
+        """
+        key = result_key(campaign_signature(config), point_key(config))
+        record = self._records.get(key)
+        if record is None:
+            return None
+        stored = record.get("config")
+        if stored is not None and stored != config_record_dict(config):
+            warnings.warn(
+                f"store record {key} does not match the requested config "
+                "(fingerprint collision?); treating it as a miss",
+                StoreWarning,
+                stacklevel=2,
+            )
+            return None
+        return self._decode(key)
+
+    def config_dict(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored config dict of one record (None for legacy records)."""
+        record = self._records.get(key)
+        if record is None:
+            return None
+        return record.get("config")
+
+    # -- writing ---------------------------------------------------------
+
+    def put_record(
+        self,
+        signature: str,
+        point: str,
+        result: SimulationResult,
+        config_dict: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Append one finished point; returns False if already stored.
+
+        Raises :class:`StoreIntegrityError` when *point* is already
+        stored under the same key with a **different** config — the
+        collision-hygiene guarantee.  A legacy record (no stored config)
+        is upgraded in place when the config is now known.
+        """
+        key = result_key(signature, point)
+        existing = self._records.get(key)
+        if existing is not None:
+            stored = existing.get("config")
+            if (
+                stored is not None
+                and config_dict is not None
+                and stored != config_dict
+            ):
+                raise StoreIntegrityError(
+                    f"store key {key} already holds a result for a "
+                    f"different config (point {existing.get('point')!r}); "
+                    "refusing to overwrite"
+                )
+            if stored is not None or config_dict is None:
+                return False  # identical identity: nothing to add
+        record = {
+            "kind": "point",
+            "v": STORE_VERSION,
+            "key": key,
+            "signature": signature,
+            "point": point,
+            "config": config_dict,
+            "result": result.to_json_dict(),
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        # Append-only: one line per point, O(record) bytes regardless of
+        # how many points the store already holds.
+        with open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(json.dumps(record) + "\n")
+        self._records[key] = record
+        self._decoded.pop(key, None)
+        return True
+
+    def put(self, config: SimulationConfig, result: SimulationResult) -> bool:
+        """Append *config*'s finished result; returns False if cached."""
+        return self.put_record(
+            campaign_signature(config),
+            point_key(config),
+            result,
+            config_record_dict(config),
+        )
+
+    # -- maintenance -----------------------------------------------------
+
+    def coverage(
+        self, configs: List[SimulationConfig]
+    ) -> Tuple[int, List[SimulationConfig]]:
+        """(cached count, missing configs) for a campaign expansion."""
+        missing = [
+            config for config in configs if self.get(config) is None
+        ]
+        return len(configs) - len(missing), missing
+
+
+__all__ = [
+    "LEGACY_CHECKPOINT_VERSION",
+    "STORE_VERSION",
+    "ResultStore",
+    "StoreIntegrityError",
+    "StoreWarning",
+]

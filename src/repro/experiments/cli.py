@@ -128,9 +128,11 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         default=None,
         metavar="PATH",
         help=(
-            "JSON file recording each finished point; re-running with "
-            "the same file resumes an interrupted campaign instead of "
-            "restarting it"
+            "append-only result-store file recording each finished "
+            "point (one JSON record per line); re-running with the "
+            "same file resumes an interrupted campaign instead of "
+            "restarting it (legacy whole-file checkpoints are migrated "
+            "in place; see also repro-campaign)"
         ),
     )
     parser.add_argument(

@@ -18,9 +18,14 @@ cycle-exact numbers.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from types import MappingProxyType
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.experiments.profiles import apply_profile, current_profile
+from repro.experiments.profiles import (
+    PROFILES,
+    apply_profile,
+    current_profile,
+)
 from repro.experiments.sweep import (
     PAPER_LOADS,
     peak_throughput,
@@ -310,6 +315,99 @@ def check_vct(series: Series) -> List[ShapeCheck]:
     return checks
 
 
+#: Per-figure shape-check entry points, for harnesses (e.g. the
+#: ``repro-campaign`` export path) that rebuild a figure's series from
+#: stored results instead of running the ``figureN`` functions.
+FIGURE_CHECKS: Mapping[
+    str, Callable[[Series], List[ShapeCheck]]
+] = MappingProxyType(
+    {
+        "3": check_figure3,
+        "4": check_figure4,
+        "5": check_figure5,
+        "vct": check_vct,
+    }
+)
+
+#: The (traffic, traffic_options, switching, algorithms) grid behind
+#: each paper figure — the declarative core the figure functions and
+#: :func:`figure_campaign_spec` share.
+FIGURE_GRIDS: Mapping[str, Dict[str, Any]] = MappingProxyType(
+    {
+        "3": {
+            "traffic": "uniform",
+            "traffic_options": {},
+            "switching": "wormhole",
+            "algorithms": ALGORITHM_NAMES,
+        },
+        "4": {
+            "traffic": "hotspot",
+            "traffic_options": {"fraction": 0.04},
+            "switching": "wormhole",
+            "algorithms": ALGORITHM_NAMES,
+        },
+        "5": {
+            "traffic": "local",
+            "traffic_options": {"radius": 3},
+            "switching": "wormhole",
+            "algorithms": ALGORITHM_NAMES,
+        },
+        "vct": {
+            "traffic": "uniform",
+            "traffic_options": {},
+            "switching": "vct",
+            "algorithms": ("ecube", "2pn", "nbc"),
+        },
+    }
+)
+
+
+def figure_campaign_spec(
+    figure: str,
+    profile: Optional[str] = None,
+    seed: int = 1,
+    algorithms: Optional[Sequence[str]] = None,
+    offered_loads: Sequence[float] = PAPER_LOADS,
+):
+    """The :class:`~repro.campaigns.spec.CampaignSpec` of one paper figure.
+
+    ``repro-campaign run --figure N`` uses this to serve figures out of
+    the campaign store: the spec expands to exactly the configs the
+    ``figureN`` functions run, so a figure regenerated from the store is
+    bit-identical to one swept directly.
+    """
+    from repro.campaigns.spec import CampaignSpec, TrafficSpec
+
+    grid = FIGURE_GRIDS.get(figure)
+    if grid is None:
+        raise KeyError(
+            f"unknown figure {figure!r}; choose from {sorted(FIGURE_GRIDS)}"
+        )
+    profile_name = profile if profile is not None else current_profile()
+    overrides = dict(PROFILES[profile_name])
+    radix = overrides.pop("radix", SimulationConfig.radix)
+    base: Dict[str, Any] = dict(overrides)
+    if grid["switching"] != "wormhole":
+        base["switching"] = grid["switching"]
+    return CampaignSpec(
+        name=f"figure-{figure}-{profile_name}",
+        algorithms=tuple(
+            algorithms if algorithms is not None else grid["algorithms"]
+        ),
+        loads=tuple(offered_loads),
+        seeds=(seed,),
+        topologies=(f"torus:{radix}x2",),
+        traffics=(
+            TrafficSpec(
+                grid["traffic"],
+                tuple(sorted(grid["traffic_options"].items())),
+            ),
+        ),
+        profile=None,  # the profile's schedule fields are in `base`
+        base=base,
+    )
+
+
 def format_checks(checks: Sequence[ShapeCheck]) -> str:
     """Human-readable pass/fail listing."""
     return "\n".join(
@@ -319,6 +417,8 @@ def format_checks(checks: Sequence[ShapeCheck]) -> str:
 
 
 __all__ = [
+    "FIGURE_CHECKS",
+    "FIGURE_GRIDS",
     "check_figure3",
     "check_figure4",
     "check_figure5",
@@ -327,6 +427,7 @@ __all__ = [
     "figure3",
     "figure4",
     "figure5",
+    "figure_campaign_spec",
     "format_checks",
     "vct_comparison",
 ]

@@ -15,10 +15,16 @@ over a :class:`~concurrent.futures.ProcessPoolExecutor`:
   mix, never from process state), so completion order cannot affect
   results; they are reassembled in submission order.
 * **Checkpointing.**  With a checkpoint path, every finished point is
-  persisted to a JSON file keyed by the point's identity and guarded by a
-  campaign signature (a hash of the shared config fields).  Re-running an
-  interrupted campaign skips completed points; a checkpoint written by a
-  *different* campaign is ignored rather than trusted.
+  appended to a content-addressed result-store file
+  (:class:`repro.campaigns.store.ResultStore`) keyed by the point's
+  identity and campaign signature (a hash of the shared config fields).
+  Re-running an interrupted campaign skips completed points — including
+  individual members of a batch-backend seed group — and a worker
+  failure never discards finished sibling points: everything completed
+  is persisted before the error propagates.  Corrupt or stale
+  checkpoint files are surfaced with a warning and preserved as
+  ``.corrupt``/``.stale`` sidecars, never silently overwritten; legacy
+  (v1, whole-file JSON) checkpoints are migrated in place.
 * **Ordered progress reporting.**  Progress lines are emitted as points
   finish, tagged ``[done/total]``, so a long 16x16 campaign is watchable
   from the terminal.
@@ -31,113 +37,88 @@ process, through the same checkpoint logic.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
-import os
 import sys
-import tempfile
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+)
 
+from repro.campaigns.identity import (
+    campaign_signature,
+    config_record_dict,
+    point_key,
+)
+from repro.campaigns.store import LEGACY_CHECKPOINT_VERSION, ResultStore
 from repro.experiments.runner import run_batch, run_point
 from repro.simulator.config import SimulationConfig
 from repro.stats.summary import SimulationResult
 
-#: Checkpoint-file schema version (bumped on incompatible layout changes).
-CHECKPOINT_VERSION = 1
-
-#: Config fields that vary between the points of one campaign; everything
-#: else must match for a checkpoint to be reused.
-_POINT_FIELDS = ("algorithm", "offered_load", "seed")
-
-#: Fields excluded from the campaign signature: the point fields, plus
-#: the backend — per-seed results are bit-identical across backends (the
-#: cross-backend test matrix pins this), so a checkpoint recorded under
-#: one backend is equally valid under the other and a resumed campaign
-#: may switch backends without losing completed points.
-_SIGNATURE_EXCLUDED = _POINT_FIELDS + ("backend",)
+#: Schema version of the legacy whole-file checkpoint layout (kept for
+#: the in-place migration; new checkpoints are store records).
+CHECKPOINT_VERSION = LEGACY_CHECKPOINT_VERSION
 
 
-def point_key(config: SimulationConfig) -> str:
-    """Stable identity of one sweep point within a campaign."""
-    return (
-        f"{config.algorithm}|{config.traffic}|{config.topology}"
-        f"{config.radix}^{config.n_dims}|{config.switching}"
-        f"|load={config.offered_load:.6g}|seed={config.seed}"
-    )
+class ResultSink(Protocol):
+    """What run_points needs from a checkpoint/result store.
 
-
-def campaign_signature(config: SimulationConfig) -> str:
-    """Hash of every config field shared by all points of a campaign.
-
-    Two configs that differ only in algorithm / offered load / seed map
-    to the same signature, so one checkpoint file can back a whole
-    figure's (algorithms x loads) grid — while a checkpoint recorded
-    under different sampling schedules, switching modes, etc. is
-    rejected instead of silently reused.
+    :class:`SweepCheckpoint` (one campaign's resume guard) and
+    :class:`repro.campaigns.orchestrator.StoreSink` (the campaign
+    orchestrator's store adapter) both speak it.
     """
-    shared = dataclasses.asdict(config)
-    for name in _SIGNATURE_EXCLUDED:
-        shared.pop(name, None)
-    blob = json.dumps(shared, sort_keys=True, default=repr)
-    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """A previously recorded result for *key*, if any."""
+
+    def record(
+        self,
+        key: str,
+        result: SimulationResult,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        """Persist one finished point."""
 
 
 class SweepCheckpoint:
-    """Per-point result store backing resumable sweep campaigns."""
+    """Per-point resume guard for one campaign, backed by a ResultStore.
+
+    Thin adapter: the store holds one append-only record per finished
+    point (shared across campaigns — recording a point is O(that
+    record), not O(points so far)); this class scopes lookups to one
+    campaign's signature so ``repro-sweep --checkpoint`` behaves exactly
+    as before.  Legacy whole-file checkpoints are migrated on open;
+    corrupt or foreign files are quarantined with a warning instead of
+    silently overwritten.
+    """
 
     def __init__(self, path: str, signature: str) -> None:
         self.path = path
         self.signature = signature
-        self._results: Dict[str, SimulationResult] = {}
-        self._load()
-
-    def _load(self) -> None:
-        if not os.path.exists(self.path):
-            return
-        try:
-            with open(self.path) as stream:
-                data = json.load(stream)
-        except (OSError, json.JSONDecodeError):
-            return  # unreadable/corrupt checkpoint: start fresh
-        if (
-            data.get("version") != CHECKPOINT_VERSION
-            or data.get("signature") != self.signature
-        ):
-            return  # different campaign (or schema): do not trust it
-        for key, payload in data.get("points", {}).items():
-            self._results[key] = SimulationResult.from_json_dict(payload)
+        self._store = ResultStore(path, legacy_signature=signature)
 
     def get(self, key: str) -> Optional[SimulationResult]:
-        return self._results.get(key)
+        return self._store.get_record(self.signature, key)
 
     def __len__(self) -> int:
-        return len(self._results)
+        return len(self._store)
 
-    def record(self, key: str, result: SimulationResult) -> None:
-        """Persist one finished point (atomic rewrite of the file)."""
-        self._results[key] = result
-        payload = {
-            "version": CHECKPOINT_VERSION,
-            "signature": self.signature,
-            "points": {
-                k: r.to_json_dict() for k, r in self._results.items()
-            },
-        }
-        directory = os.path.dirname(os.path.abspath(self.path))
-        fd, tmp_path = tempfile.mkstemp(
-            dir=directory, prefix=".sweep-checkpoint-", suffix=".tmp"
+    def record(
+        self,
+        key: str,
+        result: SimulationResult,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        """Append one finished point (O(record) bytes, not O(N))."""
+        config_dict = (
+            config_record_dict(config) if config is not None else None
         )
-        try:
-            with os.fdopen(fd, "w") as stream:
-                json.dump(payload, stream)
-            os.replace(tmp_path, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        self._store.put_record(self.signature, key, result, config_dict)
 
 
 def _run_point_worker(config: SimulationConfig) -> SimulationResult:
@@ -172,7 +153,10 @@ def _batch_groups(
 
     Points sharing every field but the seed land in one group (in
     submission order), split into chunks of at most *batch_size*; a
-    worker claims a whole chunk per task instead of one seed.
+    worker claims a whole chunk per task instead of one seed.  Only
+    *pending* (un-checkpointed) members are grouped, so resuming an
+    interrupted campaign re-runs exactly the missing seeds of a group,
+    never its already-recorded siblings.
     """
     by_key: Dict[str, List[int]] = {}
     for index in pending:
@@ -194,12 +178,15 @@ def run_points(
     verbose: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     batch_size: int = 32,
+    checkpoint: Optional[ResultSink] = None,
 ) -> List[SimulationResult]:
     """Run every config, fanning out to *jobs* worker processes.
 
     Results come back in the order of *configs* regardless of completion
-    order.  With a checkpoint path, previously completed points are
-    skipped and new completions are persisted as they land.
+    order.  With a checkpoint (a path, or any object speaking the
+    ``get``/``record`` protocol — e.g. a campaign store sink),
+    previously completed points are skipped and new completions are
+    persisted as they land.
 
     Points whose config selects ``backend="batch"`` are grouped into
     seed-batches of at most *batch_size*: a worker claims a whole batch
@@ -216,8 +203,7 @@ def run_points(
             if verbose:
                 print(line, file=sys.stderr)
 
-    checkpoint: Optional[SweepCheckpoint] = None
-    if checkpoint_path is not None:
+    if checkpoint is None and checkpoint_path is not None:
         signature = (
             campaign_signature(configs[0]) if configs else "empty"
         )
@@ -242,7 +228,9 @@ def run_points(
         nonlocal done
         results[index] = result
         if checkpoint is not None:
-            checkpoint.record(point_key(configs[index]), result)
+            checkpoint.record(
+                point_key(configs[index]), result, configs[index]
+            )
         done += 1
         progress(f"  [{done}/{total}] {result}")
 
@@ -286,18 +274,38 @@ def run_points(
                 ): members
                 for members in groups
             }
+            # Deterministic drain order (the `finished` sets below are
+            # hash-ordered): process completions by submission index.
+            submit_order: Dict[Future, int] = {
+                future: index for future, index in point_futures.items()
+            }
+            for future, members in group_futures.items():
+                submit_order[future] = members[0]
             remaining = set(point_futures) | set(group_futures)
+            error: Optional[Exception] = None
             while remaining:
                 finished, remaining = wait(
                     remaining, return_when=FIRST_COMPLETED
                 )
-                for future in finished:
-                    # .result() re-raises worker exceptions here, after
-                    # already-finished siblings have been checkpointed.
-                    if future in point_futures:
-                        finish(point_futures[future], future.result())
-                    else:
-                        finish_group(group_futures[future], future.result())
+                for future in sorted(finished, key=submit_order.__getitem__):
+                    # A failed worker must not discard its finished
+                    # siblings: every completed point (including the
+                    # other members of this `finished` set) is recorded
+                    # before the first error propagates.
+                    try:
+                        if future in point_futures:
+                            finish(point_futures[future], future.result())
+                        else:
+                            finish_group(
+                                group_futures[future], future.result()
+                            )
+                    except Exception as exc:
+                        if error is None:
+                            error = exc
+                if error is not None and checkpoint is None:
+                    break  # nothing to persist: fail fast
+            if error is not None:
+                raise error
 
     return [result for result in results if result is not None]
 
@@ -327,6 +335,7 @@ def run_sweep_points(
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "ResultSink",
     "SweepCheckpoint",
     "campaign_signature",
     "point_key",

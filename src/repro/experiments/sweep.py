@@ -14,8 +14,10 @@ point makes the serial path and the process-pool path of
 test suite pins down bit-for-bit.)
 
 ``jobs`` fans the independent points of a sweep out to worker processes;
-``checkpoint`` persists per-point results to a JSON file so interrupted
-campaigns (e.g. a full-ladder 16x16 figure) resume instead of restarting.
+``checkpoint`` persists per-point results to an append-only result-store
+file (:mod:`repro.campaigns.store`) so interrupted campaigns (e.g. a
+full-ladder 16x16 figure) resume instead of restarting — and so other
+campaigns sharing points (see ``repro-campaign``) reuse them for free.
 """
 
 from __future__ import annotations

@@ -1,0 +1,499 @@
+"""Tests for :mod:`repro.campaigns`: specs, store, orchestrator, CLI.
+
+The contract of the campaign layer:
+
+* a :class:`CampaignSpec` expands its grid in a fixed, documented order
+  and round-trips through JSON;
+* the :class:`ResultStore` is content-addressed and shared across
+  campaigns — a point simulated once is **never** simulated again, by
+  any campaign that expands to the same config (asserted by booby-
+  trapping the engine workers), and what it serves is bit-identical to
+  a fresh run;
+* collision hygiene: the store never serves a result for a config it
+  was not simulated from, and refuses to pair one key with two configs;
+* exports are deterministic and fail loudly on missing points;
+* the ``repro-campaign`` CLI wires it all together.
+"""
+
+import dataclasses
+import io
+import json
+
+import pytest
+
+from repro.campaigns.cli import main as campaign_main
+from repro.campaigns.export import (
+    IncompleteCampaignError,
+    collect,
+    format_campaign_tables,
+    grid_series,
+    write_campaign_csv,
+)
+from repro.campaigns.identity import (
+    campaign_signature,
+    config_key,
+    config_record_dict,
+    point_key,
+    result_key,
+)
+from repro.campaigns.orchestrator import run_campaign
+from repro.campaigns.spec import (
+    CampaignSpec,
+    TrafficSpec,
+    format_topology,
+    grid_label,
+    parse_topology,
+)
+from repro.campaigns.store import (
+    STORE_VERSION,
+    ResultStore,
+    StoreIntegrityError,
+    StoreWarning,
+)
+from repro.experiments import paper_figures
+from repro.experiments.parallel import run_sweep_points
+from repro.experiments.runner import run_point
+from repro.experiments.sweep import PAPER_LOADS
+from repro.util.errors import ConfigurationError
+from tests.conftest import tiny_config
+
+#: Shared (non-grid) config fields matching tests.conftest.tiny_config,
+#: so campaign points stay fast 4x4-torus simulations.
+TINY_BASE = {
+    "message_length": 4,
+    "warmup_cycles": 200,
+    "sample_cycles": 300,
+    "gap_cycles": 50,
+    "min_samples": 3,
+    "max_samples": 3,
+}
+
+
+def tiny_spec(
+    name="tiny",
+    algorithms=("ecube",),
+    loads=(0.2,),
+    seeds=(7,),
+    **kwargs,
+):
+    """A fast campaign over the same 4x4 torus tiny_config uses."""
+    return CampaignSpec(
+        name=name,
+        algorithms=tuple(algorithms),
+        loads=tuple(loads),
+        seeds=tuple(seeds),
+        topologies=("torus:4x2",),
+        base=dict(TINY_BASE),
+        **kwargs,
+    )
+
+
+def boobytrap_workers(monkeypatch):
+    """Make any engine invocation fail the test (cache-hit assertions)."""
+
+    def boom(arg):
+        raise AssertionError(f"engine invoked for {arg!r}")
+
+    monkeypatch.setattr(
+        "repro.experiments.parallel._run_point_worker", boom
+    )
+    monkeypatch.setattr(
+        "repro.experiments.parallel._run_batch_worker", boom
+    )
+
+
+class TestTopologyAndTraffic:
+    def test_parse_topology_roundtrip(self):
+        assert parse_topology("torus:16x2") == ("torus", 16, 2)
+        assert parse_topology("mesh:4x3") == ("mesh", 4, 3)
+        assert format_topology("torus", 16, 2) == "torus:16x2"
+
+    @pytest.mark.parametrize(
+        "bad", ["ring:4x2", "torus", "torus:ax2", "torus:4", "torus:1x2"]
+    )
+    def test_parse_topology_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_topology(bad)
+
+    def test_traffic_spec_parse_forms(self):
+        assert TrafficSpec.parse("uniform") == TrafficSpec("uniform")
+        parsed = TrafficSpec.parse(
+            {"pattern": "hotspot", "options": {"fraction": 0.04}}
+        )
+        assert parsed.pattern == "hotspot"
+        assert parsed.options_dict() == {"fraction": 0.04}
+        assert parsed.label() == "hotspot(fraction=0.04)"
+        assert TrafficSpec.parse(parsed) is parsed
+
+    def test_traffic_spec_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            TrafficSpec.parse({"options": {}})
+        with pytest.raises(ConfigurationError):
+            TrafficSpec.parse({"pattern": "uniform", "extra": 1})
+        with pytest.raises(ConfigurationError):
+            TrafficSpec.parse(42)
+
+
+class TestCampaignSpec:
+    def test_expansion_order_and_count(self):
+        spec = tiny_spec(
+            algorithms=("ecube", "nbc"), loads=(0.2, 0.4), seeds=(1, 2)
+        )
+        configs = spec.expand()
+        assert spec.point_count == len(configs) == 8
+        assert [(c.algorithm, c.offered_load, c.seed) for c in configs] == [
+            ("ecube", 0.2, 1), ("ecube", 0.2, 2),
+            ("ecube", 0.4, 1), ("ecube", 0.4, 2),
+            ("nbc", 0.2, 1), ("nbc", 0.2, 2),
+            ("nbc", 0.4, 1), ("nbc", 0.4, 2),
+        ]
+        assert all(c.radix == 4 and c.topology == "torus" for c in configs)
+        assert all(c.warmup_cycles == 200 for c in configs)
+
+    def test_expanded_points_share_one_signature(self):
+        configs = tiny_spec(
+            algorithms=("ecube", "nbc"), loads=(0.2, 0.4), seeds=(1, 2)
+        ).expand()
+        assert len({campaign_signature(c) for c in configs}) == 1
+        assert len({point_key(c) for c in configs}) == len(configs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"algorithms": ()},
+            {"algorithms": ("warp-drive",)},
+            {"loads": ()},
+            {"profile": "warp"},
+            {"base": {"offered_load": 0.5}},
+            {"name": "a/b"},
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        defaults = dict(
+            name="x", algorithms=("ecube",), loads=(0.2,)
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(**defaults)
+
+    def test_dict_roundtrip(self):
+        spec = tiny_spec(
+            algorithms=("ecube", "nbc"),
+            loads=(0.2, 0.4),
+            traffics=(
+                TrafficSpec("hotspot", (("fraction", 0.04),)),
+            ),
+        )
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+        json.dumps(spec.to_dict())  # must be JSON-serializable as-is
+
+    def test_file_roundtrip(self, tmp_path):
+        spec = tiny_spec()
+        path = str(tmp_path / "spec.json")
+        spec.to_file(path)
+        assert CampaignSpec.from_file(path) == spec
+
+    def test_from_dict_rejects_unknown_and_missing_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            CampaignSpec.from_dict(
+                {"name": "x", "algorithms": ["ecube"], "loads": [0.2],
+                 "color": "red"}
+            )
+        with pytest.raises(ConfigurationError, match="missing required"):
+            CampaignSpec.from_dict({"name": "x"})
+        with pytest.raises(ConfigurationError, match="not valid JSON|read"):
+            CampaignSpec.from_file("/nonexistent/spec.json")
+
+    def test_grid_label(self):
+        config = tiny_config(
+            traffic="hotspot", traffic_options={"fraction": 0.04}
+        )
+        assert grid_label(config) == ("torus:4x2", "hotspot(fraction=0.04)")
+        vct = tiny_config(switching="vct", vc_buffer_depth=4)
+        assert grid_label(vct) == ("torus:4x2", "uniform/vct")
+
+
+class TestResultStore:
+    def test_put_get_roundtrip_and_persistence(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        config = tiny_config(seed=4)
+        result = run_point(config)
+        store = ResultStore(path)
+        assert store.get(config) is None
+        assert store.put(config, result) is True
+        assert store.put(config, result) is False  # already stored
+        assert store.get(config) == result
+        # A fresh process sees the same bytes-on-disk record.
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.get(config) == result
+        assert reloaded.signatures() == {campaign_signature(config): 1}
+
+    def test_corrupt_line_recovery(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        config = tiny_config(seed=4)
+        result = run_point(config)
+        store = ResultStore(str(path))
+        store.put(config, result)
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write("garbage garbage\n")
+        with pytest.warns(StoreWarning, match="corrupt"):
+            recovered = ResultStore(str(path))
+        assert recovered.get(config) == result
+        sidecar = (tmp_path / "store.jsonl.corrupt").read_text()
+        assert "garbage garbage" in sidecar  # original preserved
+        # The store itself was rewritten to valid records only.
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["v"] for r in records] == [STORE_VERSION]
+
+    def test_same_key_different_config_refused(self, tmp_path):
+        config = tiny_config(seed=4)
+        result = run_point(config)
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        store.put(config, result)
+        other = config_record_dict(tiny_config(seed=5))
+        with pytest.raises(StoreIntegrityError, match="different config"):
+            store.put_record(
+                campaign_signature(config), point_key(config), result, other
+            )
+
+    def test_mismatched_stored_config_is_a_miss(self, tmp_path):
+        """A record whose config disagrees with the lookup is never served."""
+        path = tmp_path / "store.jsonl"
+        config = tiny_config(seed=4)
+        result = run_point(config)
+        store = ResultStore(str(path))
+        store.put(config, result)
+        # Craft a collision: same key, different stored config.
+        record = json.loads(path.read_text())
+        record["config"] = config_record_dict(tiny_config(seed=5))
+        path.write_text(json.dumps(record) + "\n")
+        tampered = ResultStore(str(path))
+        with pytest.warns(StoreWarning, match="collision"):
+            assert tampered.get(config) is None
+
+    def test_distinct_configs_get_distinct_keys(self):
+        configs = tiny_spec(
+            algorithms=("ecube", "nbc", "phop"),
+            loads=(0.2, 0.4),
+            seeds=(1, 2),
+        ).expand()
+        keys = {config_key(config) for config in configs}
+        assert len(keys) == len(configs) == 12
+        # config_key is result_key over (signature, point).
+        config = configs[0]
+        assert config_key(config) == result_key(
+            campaign_signature(config), point_key(config)
+        )
+
+    def test_coverage(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        configs = tiny_spec(loads=(0.2, 0.4)).expand()
+        result = run_point(configs[0])
+        store.put(configs[0], result)
+        cached, missing = store.coverage(configs)
+        assert cached == 1
+        assert missing == [configs[1]]
+
+
+class TestCrossCampaignMemoization:
+    def test_shared_points_are_never_resimulated(
+        self, tmp_path, monkeypatch
+    ):
+        """Two campaigns sharing a point: the second gets it for free."""
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        first = run_campaign(
+            tiny_spec(name="wide", algorithms=("ecube", "nbc")), store
+        )
+        assert (first.cached, first.simulated) == (0, 2)
+
+        boobytrap_workers(monkeypatch)  # any engine invocation now fails
+        second = run_campaign(
+            tiny_spec(name="narrow", algorithms=("ecube",)), store
+        )
+        assert second.all_cached
+        # Bit-identical round trip: the store serves the exact result.
+        assert second.results == [first.results[0]]
+
+    def test_repeat_run_with_jobs_is_pure_cache(self, tmp_path, monkeypatch):
+        """An identical re-run performs zero engine invocations, under
+        --jobs as well as serially."""
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        spec = tiny_spec(
+            name="par", algorithms=("ecube", "phop"), loads=(0.2, 0.3)
+        )
+        first = run_campaign(spec, store, jobs=2)
+        assert first.simulated == 4
+
+        boobytrap_workers(monkeypatch)
+        for jobs in (1, 2):
+            again = run_campaign(spec, store, jobs=jobs)
+            assert again.all_cached
+            assert again.results == first.results
+
+    def test_store_served_equals_fresh_run(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        spec = tiny_spec(name="oracle", loads=(0.3,))
+        report = run_campaign(spec, store)
+        assert report.results == [run_point(c) for c in spec.expand()]
+
+
+class TestOrchestrator:
+    def test_report_counts_and_summary(self, tmp_path, monkeypatch):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        spec = tiny_spec(name="half", loads=(0.2, 0.4))
+        configs = spec.expand()
+        store.put(configs[0], run_point(configs[0]))
+        report = run_campaign(spec, store)
+        assert (report.total, report.cached, report.simulated) == (2, 1, 1)
+        assert not report.all_cached
+        assert "cache hits: 1/2" in report.summary()
+        assert report.configs == configs
+        assert len(report.results) == 2
+
+    def test_progress_lines_carry_campaign_eta(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        lines = []
+        run_campaign(
+            tiny_spec(name="eta", loads=(0.2, 0.3)),
+            store,
+            progress=lines.append,
+        )
+        assert any("2 to simulate" in line for line in lines)
+        assert any("eta " in line and "campaign" in line for line in lines)
+        assert "cache hits: 0/2" in lines[-1]
+
+
+class TestExport:
+    def _filled(self, tmp_path, **spec_kwargs):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        spec = tiny_spec(**spec_kwargs)
+        run_campaign(spec, store)
+        return spec, store
+
+    def test_export_is_deterministic(self, tmp_path):
+        spec, store = self._filled(
+            tmp_path, algorithms=("ecube", "nbc"), loads=(0.2, 0.4)
+        )
+        streams = [io.StringIO(), io.StringIO()]
+        for stream in streams:
+            write_campaign_csv(collect(spec, store), stream)
+        assert streams[0].getvalue() == streams[1].getvalue()
+        header = streams[0].getvalue().splitlines()[0]
+        for column in ("topology", "radix", "seed", "algorithm"):
+            assert column in header
+
+    def test_missing_points_fail_loudly(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        spec = tiny_spec(loads=(0.2, 0.4))
+        with pytest.raises(IncompleteCampaignError, match="2 of its points"):
+            collect(spec, store)
+
+    def test_tables_and_grids(self, tmp_path):
+        spec, store = self._filled(tmp_path, algorithms=("ecube", "nbc"))
+        pairs = collect(spec, store)
+        grids = grid_series(pairs)
+        assert set(grids) == {("torus:4x2", "uniform")}
+        assert set(grids[("torus:4x2", "uniform")]) == {"ecube", "nbc"}
+        tables = format_campaign_tables(spec, pairs)
+        assert "tiny" in tables and "torus:4x2" in tables
+
+
+class TestFigureSpecs:
+    def test_figure3_spec_expands_to_the_sweep_grid(self):
+        """`repro-campaign --figure 3` runs exactly figure3's configs."""
+        spec = paper_figures.figure_campaign_spec(
+            "3", profile="quick", seed=3
+        )
+        assert spec.name == "figure-3-quick"
+        expected = run_sweep_points(
+            paper_figures._base_config("quick", traffic="uniform", seed=3),
+            paper_figures.FIGURE_GRIDS["3"]["algorithms"],
+            PAPER_LOADS,
+        )
+        assert spec.expand() == expected
+
+    def test_vct_spec_pins_switching(self):
+        spec = paper_figures.figure_campaign_spec("vct", profile="quick")
+        configs = spec.expand()
+        assert all(config.switching == "vct" for config in configs)
+        assert set(spec.algorithms) == set(
+            paper_figures.FIGURE_GRIDS["vct"]["algorithms"]
+        )
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            paper_figures.figure_campaign_spec("99")
+
+
+class TestCampaignCli:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = str(tmp_path / "spec.json")
+        tiny_spec(name="cli", algorithms=("ecube",), loads=(0.2,)).to_file(
+            path
+        )
+        return path
+
+    def test_run_then_rerun_is_all_cache_hits(
+        self, tmp_path, spec_file, capsys, monkeypatch
+    ):
+        store = str(tmp_path / "store.jsonl")
+        argv = ["run", spec_file, "--store", store, "--quiet"]
+        assert campaign_main(argv) == 0
+        assert "cache hits: 0/1" in capsys.readouterr().out
+        boobytrap_workers(monkeypatch)  # the re-run must not simulate
+        assert campaign_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache hits: 1/1" in out
+        assert f"store: {store} (1 records)" in out
+
+    def test_export_matches_run_csv(
+        self, tmp_path, spec_file, capsys
+    ):
+        store = str(tmp_path / "store.jsonl")
+        run_csv = str(tmp_path / "run.csv")
+        export_csv = str(tmp_path / "export.csv")
+        assert campaign_main(
+            ["run", spec_file, "--store", store, "--quiet",
+             "--csv", run_csv]
+        ) == 0
+        assert campaign_main(
+            ["export", spec_file, "--store", store, "--csv", export_csv]
+        ) == 0
+        capsys.readouterr()
+        with open(run_csv) as a, open(export_csv) as b:
+            assert a.read() == b.read()
+
+    def test_status_reports_coverage(self, tmp_path, spec_file, capsys):
+        store = str(tmp_path / "store.jsonl")
+        assert campaign_main(["status", "--store", store, spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "0/1 points cached (0.0%)" in out
+        assert "missing:" in out
+        campaign_main(["run", spec_file, "--store", store, "--quiet"])
+        capsys.readouterr()
+        assert campaign_main(["status", "--store", store, spec_file]) == 0
+        assert "1/1 points cached (100.0%)" in capsys.readouterr().out
+
+    def test_export_incomplete_campaign_exits_3(
+        self, tmp_path, spec_file, capsys
+    ):
+        store = str(tmp_path / "store.jsonl")
+        code = campaign_main(
+            ["export", spec_file, "--store", store, "--tables"]
+        )
+        assert code == 3
+        assert "not in the store yet" in capsys.readouterr().err
+
+    def test_usage_errors_exit_2(self, tmp_path, spec_file, capsys):
+        store = str(tmp_path / "store.jsonl")
+        assert campaign_main(["run", "--store", store]) == 2  # no spec
+        assert campaign_main(
+            ["run", spec_file, "--figure", "3", "--store", store]
+        ) == 2  # both spec forms
+        campaign_main(["run", spec_file, "--store", store, "--quiet"])
+        assert campaign_main(
+            ["export", spec_file, "--store", store]
+        ) == 2  # nothing to export
+        capsys.readouterr()

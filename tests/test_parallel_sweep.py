@@ -7,16 +7,26 @@ The contract of :mod:`repro.experiments.parallel`:
   same seeds — all six algorithms on a small torus;
 * a checkpoint file makes re-running a campaign skip completed points,
   while a checkpoint from a *different* campaign is rejected;
+* checkpoints are append-only store records: recording a point costs
+  O(that record) bytes, corrupt/stale files are quarantined with a
+  warning instead of silently overwritten, legacy whole-file
+  checkpoints migrate in place, an interrupted batch-backend seed group
+  resumes per member, and a failed worker never discards its finished
+  siblings;
 * results survive the JSON roundtrip used by the checkpoint file.
 """
 
 import dataclasses
 import json
+import os
 
 import pytest
 
+from repro.campaigns.store import STORE_VERSION, ResultStore, StoreWarning
+from repro.experiments import parallel
 from repro.experiments.parallel import (
     CHECKPOINT_VERSION,
+    SweepCheckpoint,
     campaign_signature,
     point_key,
     run_points,
@@ -26,6 +36,7 @@ from repro.experiments.runner import run_point
 from repro.experiments.sweep import run_sweep, sweep_algorithms
 from repro.routing.registry import ALGORITHM_NAMES
 from repro.stats.summary import SimulationResult
+from repro.util.errors import ConfigurationError
 from tests.conftest import tiny_config
 
 
@@ -138,29 +149,223 @@ class TestCheckpointResume:
         run_points(other, checkpoint_path=path)
         assert len(ran) == len(other)  # nothing was trusted from the file
 
-    def test_corrupt_checkpoint_is_ignored(self, tmp_path):
+    def test_corrupt_checkpoint_warns_and_quarantines(self, tmp_path):
         path = tmp_path / "sweep.ckpt.json"
         path.write_text("{not json")
         configs = self._configs()[:1]
-        results = run_points(configs, checkpoint_path=str(path))
+        with pytest.warns(StoreWarning, match="corrupt"):
+            results = run_points(configs, checkpoint_path=str(path))
         assert len(results) == 1
-        # ... and the corrupt file was replaced by a valid one.
-        data = json.loads(path.read_text())
-        assert data["version"] == CHECKPOINT_VERSION
-        assert len(data["points"]) == 1
+        # The untrusted bytes were preserved, not silently overwritten...
+        sidecar = tmp_path / "sweep.ckpt.json.corrupt"
+        assert sidecar.read_text() == "{not json"
+        # ... and the file was rebuilt as a valid record store.
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 1
+        assert records[0]["point"] == point_key(configs[0])
 
     def test_checkpoint_file_layout(self, tmp_path):
         path = tmp_path / "sweep.ckpt.json"
         configs = self._configs()
         run_points(configs, checkpoint_path=str(path))
-        data = json.loads(path.read_text())
-        assert data["signature"] == campaign_signature(configs[0])
-        assert set(data["points"]) == {point_key(c) for c in configs}
+        # One self-contained JSON record line per finished point.
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == len(configs)
+        signature = campaign_signature(configs[0])
+        assert all(record["kind"] == "point" for record in records)
+        assert all(record["v"] == STORE_VERSION for record in records)
+        assert all(record["signature"] == signature for record in records)
+        assert {record["point"] for record in records} == {
+            point_key(config) for config in configs
+        }
 
     def test_progress_reports_completion_counts(self, tmp_path):
         lines = []
         run_points(self._configs(), progress=lines.append)
         assert "[1/2]" in lines[0] and "[2/2]" in lines[1]
+
+
+class TestLegacyCheckpointMigration:
+    def _configs(self):
+        return run_sweep_points(tiny_config(seed=6), ["ecube"], (0.2, 0.4))
+
+    def _legacy_payload(self, configs, results, signature=None, version=None):
+        return json.dumps(
+            {
+                "version": (
+                    CHECKPOINT_VERSION if version is None else version
+                ),
+                "signature": (
+                    campaign_signature(configs[0])
+                    if signature is None
+                    else signature
+                ),
+                "points": {
+                    point_key(config): result.to_json_dict()
+                    for config, result in zip(configs, results)
+                },
+            }
+        )
+
+    def test_legacy_checkpoint_resumes_and_migrates(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "sweep.ckpt.json"
+        configs = self._configs()
+        first = run_points(configs)
+        path.write_text(self._legacy_payload(configs, first))
+
+        def boom(config):
+            raise AssertionError(f"re-ran migrated point {config.label()}")
+
+        monkeypatch.setattr(
+            "repro.experiments.parallel._run_point_worker", boom
+        )
+        resumed = run_points(configs, checkpoint_path=str(path))
+        assert resumed == first
+        # The file was migrated in place to one record line per point.
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == len(configs)
+        assert all(record["v"] == STORE_VERSION for record in records)
+
+    def test_unknown_version_goes_stale_with_warning(self, tmp_path):
+        path = tmp_path / "sweep.ckpt.json"
+        configs = self._configs()[:1]
+        first = run_points(configs)
+        original = self._legacy_payload(configs, first, version=99)
+        path.write_text(original)
+        with pytest.warns(StoreWarning, match="unknown schema version"):
+            results = run_points(configs, checkpoint_path=str(path))
+        assert len(results) == 1
+        assert (tmp_path / "sweep.ckpt.json.stale").read_text() == original
+
+    def test_foreign_legacy_checkpoint_goes_stale(self, tmp_path):
+        path = tmp_path / "sweep.ckpt.json"
+        configs = self._configs()
+        first = run_points(configs)
+        original = self._legacy_payload(
+            configs, first, signature="0123456789abcdef"
+        )
+        path.write_text(original)
+        with pytest.warns(StoreWarning, match="different campaign"):
+            resumed = run_points(configs, checkpoint_path=str(path))
+        assert resumed == first  # re-simulated, not trusted from the file
+        assert (tmp_path / "sweep.ckpt.json.stale").read_text() == original
+
+
+class TestAppendOnlyCheckpoint:
+    def test_record_bytes_bounded_per_point(self, tmp_path):
+        """Recording point N must not rewrite the N-1 points before it."""
+        path = str(tmp_path / "store.jsonl")
+        base = tiny_config(seed=6)
+        result = run_point(base)
+        checkpoint = SweepCheckpoint(path, campaign_signature(base))
+        sizes = []
+        for seed in range(10, 30):
+            config = dataclasses.replace(base, seed=seed)
+            checkpoint.record(point_key(config), result, config)
+            sizes.append(os.path.getsize(path))
+        deltas = [after - before for before, after in zip(sizes, sizes[1:])]
+        # O(record) bytes per append: every delta is one record's size
+        # (identical up to the seed digits), never proportional to the
+        # number of points already stored.
+        assert max(deltas) <= 1.5 * min(deltas)
+
+    def test_repeated_record_is_a_noop(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        config = tiny_config(seed=6)
+        result = run_point(config)
+        checkpoint = SweepCheckpoint(path, campaign_signature(config))
+        checkpoint.record(point_key(config), result, config)
+        size = os.path.getsize(path)
+        checkpoint.record(point_key(config), result, config)
+        assert os.path.getsize(path) == size
+
+
+class TestBatchGroupResume:
+    def _configs(self):
+        base = tiny_config(
+            flow_control="conservative", backend="batch", seed=1
+        )
+        return run_sweep_points(base, ["ecube"], (0.3,), seeds=(1, 2, 3))
+
+    def test_interrupted_group_resumes_per_member(
+        self, tmp_path, monkeypatch
+    ):
+        """A kill between sibling completions re-runs only missing seeds."""
+        path = str(tmp_path / "batch.ckpt.json")
+        configs = self._configs()
+        full = run_points(configs, batch_size=4)
+
+        # Simulate dying mid-group: the process goes down right after
+        # persisting the second of the group's three members.
+        real_record = SweepCheckpoint.record
+        recorded = []
+
+        def dying_record(self, key, result, config=None):
+            real_record(self, key, result, config)
+            recorded.append(key)
+            if len(recorded) == 2:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(SweepCheckpoint, "record", dying_record)
+        with pytest.raises(KeyboardInterrupt):
+            run_points(configs, checkpoint_path=path, batch_size=4)
+        monkeypatch.undo()
+
+        seen = []
+        real_worker = parallel._run_batch_worker
+
+        def counting(batch):
+            seen.extend(config.seed for config in batch)
+            return real_worker(batch)
+
+        monkeypatch.setattr(
+            "repro.experiments.parallel._run_batch_worker", counting
+        )
+        resumed = run_points(configs, checkpoint_path=path, batch_size=4)
+        assert seen == [3]  # only the unrecorded sibling re-ran
+        assert resumed == full
+
+
+class TestWorkerFailureSalvage:
+    def test_finished_siblings_survive_a_failing_worker(
+        self, tmp_path, monkeypatch
+    ):
+        """A worker failure must not discard completed, uncheckpointed
+        siblings: everything finished is persisted before the error
+        propagates, and a resume skips it."""
+        path = str(tmp_path / "salvage.ckpt.json")
+        good = tiny_config(seed=6, offered_load=0.2)
+        # Fails deterministically inside the worker: obs options are
+        # validated lazily, at engine-build time.
+        bad = dataclasses.replace(
+            good, offered_load=0.4, obs=True, obs_options={"stride": -1}
+        )
+        configs = [bad, good]
+        with pytest.raises(ConfigurationError, match="stride"):
+            run_points(configs, jobs=2, checkpoint_path=path)
+
+        # The good point completed in its worker and was checkpointed
+        # (the run's checkpoint is scoped to configs[0]'s signature).
+        store = ResultStore(path)
+        assert (
+            store.get_record(campaign_signature(bad), point_key(good))
+            is not None
+        )
+
+        ran = []
+
+        def counting(config):
+            ran.append(point_key(config))
+            return run_point(config)
+
+        monkeypatch.setattr(
+            "repro.experiments.parallel._run_point_worker", counting
+        )
+        with pytest.raises(ConfigurationError, match="stride"):
+            run_points(configs, checkpoint_path=path)
+        assert ran == [point_key(bad)]  # the salvaged point was skipped
 
 
 class TestPointIdentity:
