@@ -1,0 +1,359 @@
+"""Statistical equivalence of the batch backend's identity modes.
+
+The relaxed identity mode (:mod:`repro.simulator.batch`) replaces the
+strict mode's bit-identical scalar rng/routing seams with batched numpy
+draws and table-driven kernels.  Individual runs are *not* bit-identical
+to strict runs — the draw order differs — so relaxed mode is validated
+distributionally: over many seeds, every reported metric must agree
+between the two modes up to sampling noise.
+
+The dual criterion (mirroring the convergence checker's spirit): a
+metric is discrepant only when the mode means differ *practically* AND
+*statistically* —
+
+``|mean_r - mean_s|  >  rel_tol * max(|mean_s|, floor)``   (practical)
+``|mean_r - mean_s|  >  z * sqrt(var_s/n + var_r/n)``      (statistical)
+
+A difference within ``rel_tol`` is immaterial regardless of confidence;
+a difference within ``z`` standard errors (Welch) is indistinguishable
+from seed noise regardless of size.  Equivalence fails only when both
+thresholds are exceeded, so the check neither flags converged-but-tiny
+offsets nor rewards noisy small-n runs.
+
+Compared metrics per point: mean latency, mean wait, achieved
+utilization, delivered throughput, delivered-message count, and the
+per-VC-class usage shares (the paper's load-balance quantity).  Both
+modes run the exact same seeds and the exact same sampling schedule
+(``min_samples == max_samples``), so the paired distributions differ
+only by the identity mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.runner import run_batch
+from repro.simulator.config import SimulationConfig
+from repro.stats.summary import SimulationResult
+
+#: Algorithms x topologies covered by the full suite: every shipped
+#: adaptive scheme plus e-cube, on both paper topologies.
+SUITE_ALGORITHMS = ("ecube", "2pn", "nbc", "nhop", "nlast", "phop")
+SUITE_TOPOLOGIES = ("mesh", "torus")
+
+#: Absolute floor for the practical-tolerance term, so near-zero means
+#: (e.g. a VC class carrying ~no flits) do not demand impossible
+#: relative precision.
+_REL_FLOOR = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricComparison:
+    """One metric's strict-vs-relaxed verdict."""
+
+    name: str
+    mean_strict: float
+    mean_relaxed: float
+    #: Welch standard error of the mean difference, sqrt(vs/n + vr/n).
+    std_error: float
+    rel_diff: float
+    passed: bool
+
+    def describe(self) -> str:
+        mark = "ok " if self.passed else "FAIL"
+        return (
+            f"[{mark}] {self.name}: strict={self.mean_strict:.6g} "
+            f"relaxed={self.mean_relaxed:.6g} "
+            f"rel_diff={self.rel_diff:.3%} se={self.std_error:.3g}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PointReport:
+    """Equivalence verdicts for one (algorithm, topology) point."""
+
+    algorithm: str
+    topology: str
+    offered_load: float
+    num_seeds: int
+    metrics: List[MetricComparison]
+
+    @property
+    def passed(self) -> bool:
+        return all(metric.passed for metric in self.metrics)
+
+    @property
+    def failures(self) -> List[MetricComparison]:
+        return [metric for metric in self.metrics if not metric.passed]
+
+
+def _mean_var(values: Sequence[float]) -> tuple:
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((value - mean) ** 2 for value in values) / (n - 1)
+    return mean, var
+
+
+def compare_metric(
+    name: str,
+    strict: Sequence[float],
+    relaxed: Sequence[float],
+    rel_tol: float,
+    z: float,
+    floor: float = _REL_FLOOR,
+) -> MetricComparison:
+    """Apply the dual criterion to one metric's per-seed samples."""
+    mean_s, var_s = _mean_var(strict)
+    mean_r, var_r = _mean_var(relaxed)
+    diff = abs(mean_r - mean_s)
+    se = math.sqrt(var_s / len(strict) + var_r / len(relaxed))
+    practical = diff > rel_tol * max(abs(mean_s), floor)
+    statistical = diff > z * se
+    scale = max(abs(mean_s), floor)
+    return MetricComparison(
+        name=name,
+        mean_strict=mean_s,
+        mean_relaxed=mean_r,
+        std_error=se,
+        rel_diff=diff / scale,
+        passed=not (practical and statistical),
+    )
+
+
+def _point_metrics(
+    results: Sequence[SimulationResult],
+) -> Dict[str, List[float]]:
+    """Per-seed metric samples from one mode's results."""
+    metrics: Dict[str, List[float]] = {
+        "average_latency": [],
+        "average_wait": [],
+        "achieved_utilization": [],
+        "delivered_throughput": [],
+        "messages_delivered": [],
+    }
+    num_classes = max(
+        (len(result.vc_class_usage) for result in results), default=0
+    )
+    for vc in range(num_classes):
+        metrics[f"vc_share_{vc}"] = []
+    for result in results:
+        metrics["average_latency"].append(result.average_latency)
+        metrics["average_wait"].append(result.average_wait)
+        metrics["achieved_utilization"].append(
+            result.achieved_utilization
+        )
+        metrics["delivered_throughput"].append(
+            result.delivered_throughput
+        )
+        metrics["messages_delivered"].append(
+            float(result.messages_delivered)
+        )
+        usage = result.vc_class_usage
+        total = float(sum(usage)) or 1.0
+        for vc in range(num_classes):
+            share = usage[vc] / total if vc < len(usage) else 0.0
+            metrics[f"vc_share_{vc}"].append(share)
+    return metrics
+
+
+def compare_point(
+    config: SimulationConfig,
+    seeds: Sequence[int],
+    rel_tol: float = 0.05,
+    z: float = 3.0,
+) -> PointReport:
+    """Run one configuration under both identity modes and compare.
+
+    *config* should select ``backend="batch"``; its ``identity`` field
+    is overridden per mode.  Both modes run the same seeds in one
+    lockstep engine each, on a fixed sampling schedule.
+    """
+    strict_cfg = replace(config, backend="batch", identity="strict")
+    relaxed_cfg = replace(config, backend="batch", identity="relaxed")
+    strict_results = run_batch(strict_cfg, seeds)
+    relaxed_results = run_batch(relaxed_cfg, seeds)
+    strict_metrics = _point_metrics(strict_results)
+    relaxed_metrics = _point_metrics(relaxed_results)
+    names = sorted(set(strict_metrics) | set(relaxed_metrics))
+    comparisons = [
+        compare_metric(
+            name,
+            strict_metrics.get(name, [0.0] * len(seeds)),
+            relaxed_metrics.get(name, [0.0] * len(seeds)),
+            rel_tol,
+            z,
+        )
+        for name in names
+    ]
+    return PointReport(
+        algorithm=config.algorithm,
+        topology=config.topology,
+        offered_load=config.offered_load,
+        num_seeds=len(seeds),
+        metrics=comparisons,
+    )
+
+
+def run_suite(
+    algorithms: Iterable[str] = SUITE_ALGORITHMS,
+    topologies: Iterable[str] = SUITE_TOPOLOGIES,
+    num_seeds: int = 30,
+    radix: int = 8,
+    offered_load: float = 0.4,
+    message_length: int = 16,
+    samples: int = 3,
+    warmup_cycles: int = 1000,
+    sample_cycles: int = 1000,
+    rel_tol: float = 0.05,
+    z: float = 3.0,
+    progress: Optional[Any] = None,
+) -> List[PointReport]:
+    """Equivalence over the full algorithm x topology grid.
+
+    Conservative flow control throughout (the paper's realistic regime
+    and the mode where both engines share the transmit kernel).  The
+    sampling schedule is pinned (``min_samples == max_samples``) so both
+    modes simulate identical cycle counts.
+    """
+    seeds = list(range(101, 101 + num_seeds))
+    reports: List[PointReport] = []
+    for topology in topologies:
+        for algorithm in algorithms:
+            config = SimulationConfig(
+                radix=radix,
+                n_dims=2,
+                topology=topology,
+                algorithm=algorithm,
+                flow_control="conservative",
+                offered_load=offered_load,
+                message_length=message_length,
+                warmup_cycles=warmup_cycles,
+                sample_cycles=sample_cycles,
+                gap_cycles=0,
+                min_samples=samples,
+                max_samples=samples,
+                backend="batch",
+            )
+            report = compare_point(config, seeds, rel_tol=rel_tol, z=z)
+            reports.append(report)
+            if progress is not None:
+                status = "ok" if report.passed else "FAIL"
+                progress(
+                    f"{topology}/{algorithm}: {status} "
+                    f"({len(report.failures)} discrepant metrics)"
+                )
+    return reports
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-equivalence`` console entry point."""
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro-equivalence",
+        description=(
+            "Statistical equivalence of the batch backend's relaxed "
+            "identity mode against the strict (bit-identical) mode."
+        ),
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=30,
+        help="seeds per mode per point (default 30)",
+    )
+    parser.add_argument(
+        "--algorithms", default=",".join(SUITE_ALGORITHMS),
+        help="comma-separated algorithm names",
+    )
+    parser.add_argument(
+        "--topologies", default=",".join(SUITE_TOPOLOGIES),
+        help="comma-separated topologies",
+    )
+    parser.add_argument(
+        "--radix", type=int, default=8, help="network radix (default 8)"
+    )
+    parser.add_argument(
+        "--load", type=float, default=0.4,
+        help="offered load (default 0.4)",
+    )
+    parser.add_argument(
+        "--rel-tol", type=float, default=0.05,
+        help="practical tolerance on relative mean difference",
+    )
+    parser.add_argument(
+        "--z", type=float, default=3.0,
+        help="statistical threshold in Welch standard errors",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "CI preset: 8 seeds, radix 6, short samples, rel-tol 0.15 "
+            "— a fast regression tripwire, not a publication check"
+        ),
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full report as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    kwargs: Dict[str, Any] = dict(
+        algorithms=[a for a in args.algorithms.split(",") if a],
+        topologies=[t for t in args.topologies.split(",") if t],
+        num_seeds=args.seeds,
+        radix=args.radix,
+        offered_load=args.load,
+        rel_tol=args.rel_tol,
+        z=args.z,
+    )
+    if args.smoke:
+        kwargs.update(
+            num_seeds=min(args.seeds, 8),
+            radix=6,
+            message_length=8,
+            samples=2,
+            warmup_cycles=500,
+            sample_cycles=600,
+            rel_tol=max(args.rel_tol, 0.15),
+        )
+
+    reports = run_suite(
+        progress=lambda line: print(line, flush=True), **kwargs
+    )
+    failed = [report for report in reports if not report.passed]
+    for report in failed:
+        print(
+            f"\nDiscrepant point {report.topology}/{report.algorithm} "
+            f"(load {report.offered_load}, {report.num_seeds} seeds):"
+        )
+        for metric in report.failures:
+            print("  " + metric.describe())
+    if args.json:
+        payload = [dataclasses.asdict(report) for report in reports]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    total = len(reports)
+    print(
+        f"\nequivalence: {total - len(failed)}/{total} points passed",
+        file=sys.stderr,
+    )
+    return 1 if failed else 0
+
+
+__all__ = [
+    "MetricComparison",
+    "PointReport",
+    "SUITE_ALGORITHMS",
+    "SUITE_TOPOLOGIES",
+    "compare_metric",
+    "compare_point",
+    "run_suite",
+    "main",
+]

@@ -5,6 +5,7 @@ Subcommands::
     repro-campaign run spec.json --store results/store.jsonl --jobs 8
     repro-campaign run --figure 3 --profile quick --store store.jsonl
     repro-campaign status --store store.jsonl [spec.json]
+    repro-campaign gc --store store.jsonl [--purge-sidecars]
     repro-campaign export spec.json --store store.jsonl --csv out.csv
 
 ``run`` simulates only the points the store has never seen (a repeated
@@ -116,6 +117,17 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     _add_spec_arguments(status)
     _add_store_argument(status)
 
+    gc = commands.add_parser(
+        "gc",
+        help="compact the store file (drop superseded record lines)",
+    )
+    _add_store_argument(gc)
+    gc.add_argument(
+        "--purge-sidecars", action="store_true",
+        help="also delete .corrupt/.stale quarantine sidecars left by "
+             "earlier recoveries (inspect them first)",
+    )
+
     export = commands.add_parser(
         "export",
         help="regenerate CSV/tables from the store (never simulates)",
@@ -213,6 +225,23 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gc(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    stats = store.gc(purge_sidecars=args.purge_sidecars)
+    print(f"store: {args.store}")
+    print(
+        f"records: {stats['live_records']} live; "
+        f"{stats['dropped_lines']} superseded line(s) dropped "
+        f"({stats['lines_before']} -> {stats['lines_after']})"
+    )
+    print(
+        f"bytes: {stats['bytes_before']} -> {stats['bytes_after']}"
+    )
+    for sidecar in stats["sidecars_removed"]:
+        print(f"removed sidecar: {sidecar}")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     spec = _require_spec(args)
     store = ResultStore(args.store)
@@ -258,6 +287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "status":
             return _cmd_status(args)
+        if args.command == "gc":
+            return _cmd_gc(args)
         return _cmd_export(args)
     except ReproError as error:
         print(f"repro-campaign {args.command}: {error}", file=sys.stderr)

@@ -40,6 +40,19 @@ POINT_FIELDS = ("algorithm", "offered_load", "seed")
 #: cross-backend test matrix pins this), so a result recorded under one
 #: backend is equally valid under the other and a resumed campaign may
 #: switch backends without losing completed points.
+#:
+#: ``identity`` is deliberately NOT excluded.  Backend exclusion rests
+#: on bit-identity, which only ``identity="strict"`` guarantees;
+#: relaxed-mode results are statistically, not bitwise, equivalent and
+#: must never be served from a strict record (or vice versa).  The
+#: exclusion stays sound alongside relaxed mode because
+#: ``identity="relaxed"`` is only constructible with
+#: ``backend="batch"`` (config validation), so a backendless identity
+#: never conflates the two contracts.  Since the signature hashes every
+#: non-excluded field of the config dataclass, stores written before
+#: the ``identity`` field existed hash differently and show up as cache
+#: misses — re-simulate (or keep serving them from an old checkout);
+#: they are never served wrongly.
 SIGNATURE_EXCLUDED = POINT_FIELDS + ("backend",)
 
 

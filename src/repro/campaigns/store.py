@@ -350,6 +350,53 @@ class ResultStore:
 
     # -- maintenance -----------------------------------------------------
 
+    def gc(self, purge_sidecars: bool = False) -> Dict[str, Any]:
+        """Compact the store file down to one line per live record.
+
+        The append-only write path can leave superseded lines behind —
+        a legacy record re-appended with its config, or shadowed
+        duplicates after a crash-recovery load — which cost disk and
+        load time but are never served.  ``gc`` atomically rewrites the
+        file from the live in-memory records (the exact set lookups are
+        answered from), dropping everything else.  With
+        *purge_sidecars*, quarantine sidecars (``<path>.corrupt`` /
+        ``<path>.stale``) left by earlier recoveries are deleted too —
+        only ask for that once their contents have been inspected.
+
+        Returns a stats dict: lines/bytes before and after, the number
+        of superseded lines dropped, and the sidecar paths removed.
+        """
+
+        def measure() -> Tuple[int, int]:
+            if not os.path.exists(self.path):
+                return 0, 0
+            with open(self.path, encoding="utf-8") as stream:
+                text = stream.read()
+            lines = sum(1 for line in text.splitlines() if line.strip())
+            return lines, len(text.encode("utf-8"))
+
+        lines_before, bytes_before = measure()
+        if lines_before or self._records:
+            self._rewrite()
+        lines_after, bytes_after = measure()
+
+        removed: List[str] = []
+        if purge_sidecars:
+            for suffix in (".corrupt", ".stale"):
+                sidecar = self.path + suffix
+                if os.path.exists(sidecar):
+                    os.unlink(sidecar)
+                    removed.append(sidecar)
+        return {
+            "lines_before": lines_before,
+            "lines_after": lines_after,
+            "dropped_lines": lines_before - lines_after,
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+            "live_records": len(self._records),
+            "sidecars_removed": removed,
+        }
+
     def coverage(
         self, configs: List[SimulationConfig]
     ) -> Tuple[int, List[SimulationConfig]]:

@@ -113,6 +113,18 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         help="max seeds per lockstep batch with --backend batch",
     )
     parser.add_argument(
+        "--identity",
+        choices=("strict", "relaxed"),
+        default=None,
+        help=(
+            "batch-backend execution contract: 'strict' (default; "
+            "per-seed results bit-identical to the object engine) or "
+            "'relaxed' (batched rng + vectorized routing kernels, "
+            "statistically equivalent — see docs/performance.md, "
+            "'identity modes'; requires --backend batch)"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         "-j",
         type=int,
@@ -225,6 +237,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.identity is not None:
+            print(
+                "--identity applies to custom sweeps only (the paper "
+                "figures run on the object backend, the strict oracle)",
+                file=sys.stderr,
+            )
+            return 2
         if seeds is not None:
             print("--seeds applies to custom sweeps; use --seed with "
                   "--figure", file=sys.stderr)
@@ -274,6 +293,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "--flow-control conservative",
                     file=sys.stderr,
                 )
+                return 2
+        if args.identity is not None:
+            try:
+                config = dataclasses.replace(
+                    config, identity=args.identity
+                )
+            except ConfigurationError as error:
+                # e.g. relaxed without the batch backend.
+                print(f"--identity {args.identity}: {error}",
+                      file=sys.stderr)
+                print("hint: --identity relaxed needs --backend batch",
+                      file=sys.stderr)
                 return 2
         series = sweep_algorithms(
             config,

@@ -11,8 +11,9 @@ lane.  Routing stays scalar per active head (algorithm callbacks and rng
 tie-breaks are inherently per-message) behind a gather/scatter seam,
 reusing the object engine's candidate memoization.
 
-**Bit-identity contract.**  For every supported configuration the batch
-backend reproduces the object engine's flit schedule and
+**Bit-identity contract** (``identity="strict"``, the default).  For
+every supported configuration the batch backend reproduces the object
+engine's flit schedule and
 :meth:`~repro.simulator.engine.Engine.state_fingerprint` exactly, per seed
 (the object engine stays the oracle; the cross-backend tests pin this).
 The vectorization rests on one property of the engine's *conservative*
@@ -39,6 +40,18 @@ a simultaneous whole-array evaluation commits the exact same set of moves.
 Wormhole and VCT, both mux policies, and all selection policies are
 supported (conservative wormhole uses the 2-flit buffers
 ``effective_buffer_depth`` already assigns it).
+
+**Relaxed identity** (``identity="relaxed"``) trades per-seed
+bit-identity for speed past the scalar seam: per-lane ``random.Random``
+streams become per-lane numpy Generators with draws batched per phase
+(geometric arrival gaps, destination sampling, routing tie-breaks), and
+the scalar routing/VC-allocation loop becomes a round-based vectorized
+kernel gathering candidate sets from an interned
+:class:`repro.routing.tables.RouteTable`.  Results remain deterministic
+per (config, seed) and independent of batch composition — each lane's
+draw sequence depends only on its own state — but differ per seed from
+the strict schedule; their distributions are validated against strict
+runs by :mod:`repro.analysis.equivalence`.
 
 **Performance structure.**  The per-cycle cost has three tiers:
 
@@ -77,12 +90,13 @@ from typing import (
 import numpy as np
 
 from repro.routing.base import RoutingAlgorithm
+from repro.routing.tables import RouteTable
 from repro.simulator.config import SimulationConfig
 from repro.simulator.injection import InjectionController
 from repro.stats.counters import SampleRecord
 from repro.topology.base import Link, Topology
-from repro.traffic.arrivals import GeometricArrivals
-from repro.traffic.base import TrafficPattern
+from repro.traffic.arrivals import GeometricArrivals, geometric_gaps
+from repro.traffic.base import TrafficPattern, sample_destinations
 from repro.traffic.load import offered_load_to_rate
 from repro.util.errors import ConfigurationError, DeadlockError
 from repro.util.fingerprint import state_fingerprint as route_state_fingerprint
@@ -96,6 +110,14 @@ from repro.util.rng import (
 #: A routing candidate resolved to array coordinates:
 #: (flat VC index = channel * V + vc_class, channel index, vc_class, link).
 _Candidate = Tuple[int, int, int, Link]
+
+#: Masked-out load in the relaxed least-multiplexed kernel (any value
+#: above every possible per-channel reserved-VC count works).
+_LOAD_INF = np.int64(1) << 62
+
+#: "Never due" sentinel for the relaxed arrival array (matches the
+#: scalar GeometricArrivals/geometric_gaps sentinel).
+_ARR_NEVER = 1 << 60
 
 
 class _BatchMessage:
@@ -116,6 +138,7 @@ class _BatchMessage:
         "src_flat",
         "cached_candidates",
         "route_seq",
+        "route_row",
         "parked",
         "park_epoch",
     )
@@ -146,6 +169,8 @@ class _BatchMessage:
         self.src_flat: Optional[int] = None
         self.cached_candidates: Optional[Sequence[_Candidate]] = None
         self.route_seq = -1
+        #: Relaxed mode: the message's interned RouteTable row (-1 strict).
+        self.route_row = -1
         self.parked = False
         self.park_epoch = 0
 
@@ -157,10 +182,14 @@ class _Lane:
         "index",
         "off",
         "seed",
+        "relaxed",
         "rng",
         "rng_arrivals",
         "rng_destinations",
         "rng_routing",
+        "gen_arrivals",
+        "gen_destinations",
+        "gen_routing",
         "arrivals",
         "controller",
         "msgs",
@@ -198,14 +227,24 @@ class _Lane:
         num_channels: int,
         injection_rate: float,
         injection_limit: Optional[int],
+        relaxed: bool = False,
     ) -> None:
         self.index = index
         #: This lane's offset into the 1-D array views: index * C * V.
         self.off = off
         self.seed = seed
+        self.relaxed = relaxed
         self.rng = RngStreams(seed)
-        self.arrivals = GeometricArrivals(num_nodes, injection_rate)
-        self.arrivals.start(0, self.rng.stream(STREAM_ARRIVALS))
+        if relaxed:
+            # Relaxed identity: per-phase numpy Generators; the arrival
+            # schedule lives in the engine's lane-fused due array, so
+            # the lane carries no arrivals object.  Strict lanes never
+            # touch the numpy streams, relaxed lanes never touch the
+            # scalar ones.
+            self.arrivals: Any = None
+        else:
+            self.arrivals = GeometricArrivals(num_nodes, injection_rate)
+            self.arrivals.start(0, self.rng.stream(STREAM_ARRIVALS))
         self.controller = InjectionController(injection_limit)
         #: Live (undelivered) messages by id; owner arrays store the ids.
         self.msgs: Dict[int, _BatchMessage] = {}
@@ -242,9 +281,16 @@ class _Lane:
         self.refresh_streams()
 
     def refresh_streams(self) -> None:
-        self.rng_arrivals = self.rng.stream(STREAM_ARRIVALS)
-        self.rng_destinations = self.rng.stream(STREAM_DESTINATIONS)
-        self.rng_routing = self.rng.stream(STREAM_ROUTING)
+        if self.relaxed:
+            self.gen_arrivals = self.rng.numpy_stream(STREAM_ARRIVALS)
+            self.gen_destinations = self.rng.numpy_stream(
+                STREAM_DESTINATIONS
+            )
+            self.gen_routing = self.rng.numpy_stream(STREAM_ROUTING)
+        else:
+            self.rng_arrivals = self.rng.stream(STREAM_ARRIVALS)
+            self.rng_destinations = self.rng.stream(STREAM_DESTINATIONS)
+            self.rng_routing = self.rng.stream(STREAM_ROUTING)
 
 
 class BatchEngine:
@@ -338,6 +384,31 @@ class BatchEngine:
         self._priority = config.mux_policy == "highest_class"
         self._links: List[Link] = list(self.topology.links)
 
+        # Relaxed identity mode: table-driven routing kernels + batched
+        # numpy rng (see the identity-modes section of the module/config
+        # docs).  The strict path below never reads any of this state.
+        self._relaxed = config.identity == "relaxed"
+        #: Pending per-channel reserved-VC decrements (releases), applied
+        #: lazily before the loads gather; None unless the relaxed
+        #: least-multiplexed kernel needs load tracking at all.
+        self._pend_ch: Optional[List[int]] = None
+        if self._relaxed:
+            self._table = RouteTable(self.algorithm)
+            self._dest_table = self.traffic.destination_table()
+            #: (src, dst) -> (route row, message class, distance); the
+            #: injection-time algorithm callbacks are deterministic per
+            #: pair, so they run once per pair instead of per message.
+            self._inject_cache: Dict[
+                Tuple[int, int], Tuple[int, Hashable, int]
+            ] = {}
+            if config.selection_policy == "least_multiplexed":
+                #: Per-channel reserved-VC counts, the vectorized
+                #: counterpart of the lanes' owned_py mirrors
+                #: (least-multiplexed loads gather from the flat view).
+                self._owned_ch = np.zeros((b, c), dtype=np.int64)
+                self._owned_ch_f = self._owned_ch.reshape(-1)
+                self._pend_ch = []
+
         def flat2(dtype: Any, fill: int = 0) -> Tuple[np.ndarray, np.ndarray]:
             arr = np.full((b, cv), fill, dtype=dtype)
             return arr, arr.reshape(-1)
@@ -345,18 +416,28 @@ class BatchEngine:
         # Flit counters are int16 (validated above: message_length fits)
         # to halve the memory traffic of the per-cycle readiness scan.
         self._owner, self._owner_f = flat2(np.int64, -1)
-        self._occ, self._occ_f = flat2(np.int16)
+        # occ and inject share one backing pool so the transmit kernel's
+        # supply check is a single gather: a VC's supply index is its
+        # upstream's occupancy cell, or (pool_offset + own cell) when
+        # source-fed — no masked overwrite per cycle.
+        n_flat = b * cv
+        self._supply_pool = np.zeros(2 * n_flat, dtype=np.int16)
+        self._occ_f = self._supply_pool[:n_flat]
+        self._occ = self._occ_f.reshape(b, cv)
         self._fin, self._fin_f = flat2(np.int16)
         self._fout, self._fout_f = flat2(np.int16)
         self._la, self._la_f = flat2(np.int32, -1)
         self._ld, self._ld_f = flat2(np.int32, -1)
         self._carried, self._carried_f = flat2(np.int64)
         self._up, self._up_f = flat2(np.int32, -1)
-        # Absolute (lane-offset) upstream index for the one big gather in
-        # the transmit kernel; 0 (a valid dummy) when source-fed/unowned.
+        # Absolute supply index for the one big gather in the transmit
+        # kernel: the upstream VC's occupancy cell, or the VC's own
+        # inject cell (pool offset + abs) when source-fed; 0 (a valid
+        # dummy) when unowned.
         self._up_abs, self._up_abs_f = flat2(np.intp)
         self._issrc, self._issrc_f = flat2(bool)
-        self._inject, self._inject_f = flat2(np.int16)
+        self._inject_f = self._supply_pool[n_flat:]
+        self._inject = self._inject_f.reshape(b, cv)
         self._front, self._front_f = flat2(bool)
         self._isdst, self._isdst_f = flat2(bool)
         self._ejected, self._ejected_f = flat2(np.int16)
@@ -401,10 +482,13 @@ class BatchEngine:
 
         # Transmit-kernel scratch (one allocation per engine, not cycle).
         n = b * cv
+        self._n_flat = n
         self._sc_ready = np.zeros(n, dtype=bool)
         self._sc_tmp = np.zeros(n, dtype=bool)
         self._sc_upocc = np.zeros(n, dtype=np.int16)
         self._sc_key = np.empty((b, c, v), dtype=np.int16)
+        self._sc_key_f = self._sc_key.reshape(-1)
+        self._sc_key2 = self._sc_key.reshape(b * c, v)
         self._sc_min = np.empty((b, c), dtype=np.int16)
         self._sc_min_f = self._sc_min.reshape(-1)
         self._sc_move = np.empty(b * c, dtype=bool)
@@ -427,6 +511,9 @@ class BatchEngine:
         #: absolute upstream or 0, source-fed?, ends at destination?);
         #: one tuple per reservation, unzipped into scatters by _flush.
         self._pa_rows: List[Tuple[int, int, int, int, bool, bool]] = []
+        #: Relaxed-mode allocation blocks: per-round ndarray tuples
+        #: (abs, msg_id, up, up_abs, issrc, isdst) landed by _flush.
+        self._pa_blocks: List[Tuple[np.ndarray, ...]] = []
         self._pa_act_ch: List[int] = []  # activation: absolute channel
         self._pa_act_seq: List[int] = []  # activation: assigned seq
 
@@ -441,9 +528,27 @@ class BatchEngine:
                 c,
                 self.injection_rate,
                 config.injection_limit,
+                self._relaxed,
             )
             for index, seed in enumerate(self.seeds)
         ]
+        if self._relaxed:
+            # Lane-fused arrival schedule: every lane's per-node due
+            # cycles in one [B, N] array, polled with one mask per cycle
+            # instead of one numpy round-trip per lane.  Gap redraws
+            # stay per lane (each lane's own stream), so a lane's
+            # arrival sequence is independent of the batch composition.
+            n_nodes = self.topology.num_nodes
+            self._num_nodes = n_nodes
+            self._gen_due = np.empty((b, n_nodes), dtype=np.int64)
+            self._gen_due_f = self._gen_due.reshape(-1)
+            for lane in self.lanes:
+                # First arrivals at or after cycle 0 (cf.
+                # BatchedGeometricArrivals.start(0, gen)).
+                self._gen_due[lane.index] = -1 + geometric_gaps(
+                    n_nodes, self.injection_rate, lane.gen_arrivals
+                )
+            self._gen_next = int(self._gen_due.min())
         self._running: List[Tuple[int, _Lane]] = list(enumerate(self.lanes))
         # Shared resolved-candidate cache, keyed like the object engine's
         # (head node, destination, algorithm state key); identical across
@@ -483,6 +588,11 @@ class BatchEngine:
         self._lane_on[index] = False
         self._lane_mask_f = np.repeat(self._lane_on, self._cv)
         self._all_on = False
+        if self._relaxed:
+            # A frozen lane must stop generating: its due row would
+            # otherwise keep matching the poll mask every cycle.
+            self._gen_due[index] = _ARR_NEVER
+            self._gen_next = int(self._gen_due.min())
 
     def run_cycles(self, cycles: int) -> None:
         """Advance every running lane by *cycles* lockstep cycles.
@@ -500,9 +610,12 @@ class BatchEngine:
                 self.cycle = end
                 return
             if all(lane.in_flight == 0 for _, lane in running):
-                next_due = min(
-                    lane.arrivals.next_due for _, lane in running
-                )
+                if self._relaxed:
+                    next_due = self._gen_next
+                else:
+                    next_due = min(
+                        lane.arrivals.next_due for _, lane in running
+                    )
                 if next_due > self.cycle:
                     target = next_due if next_due < end else end
                     delta = target - self.cycle
@@ -517,19 +630,27 @@ class BatchEngine:
         """One lockstep cycle: the object engine's four phases, batched."""
         cyc = self.cycle
         running = self._running
-        for _, lane in running:
-            if lane.arrivals.next_due <= cyc:
-                self._generate_lane(lane, cyc)
+        relaxed = self._relaxed
+        if relaxed:
+            if self._gen_next <= cyc:
+                self._generate_relaxed(cyc)
+        else:
+            for _, lane in running:
+                if lane.arrivals.next_due <= cyc:
+                    self._generate_lane(lane, cyc)
         eject_flags: Optional[np.ndarray] = None
         for _, lane in running:
             if lane.delivering:
                 eject_flags = self._eject_all(cyc)
                 break
         policy = self.config.selection_policy
-        route_flags: Dict[int, bool] = {}
-        for b, lane in running:
-            if lane.route_heap:
-                route_flags[b] = self._route_lane(lane, b, policy)
+        if relaxed:
+            route_flags = self._route_relaxed(running, policy)
+        else:
+            route_flags = {}
+            for b, lane in running:
+                if lane.route_heap:
+                    route_flags[b] = self._route_lane(lane, b, policy)
         moves: Optional[np.ndarray] = None
         for _, lane in running:
             if lane.owned_total:
@@ -563,7 +684,15 @@ class BatchEngine:
         lane = self.lanes[index]
         lane.rng.advance_epoch()
         lane.refresh_streams()
-        lane.arrivals.reseed(self.cycle, lane.rng_arrivals)
+        if lane.relaxed:
+            # Re-draw the lane's pending gaps from the fresh stream
+            # (cf. BatchedGeometricArrivals.reseed).
+            self._gen_due[index] = self.cycle + geometric_gaps(
+                self._num_nodes, self.injection_rate, lane.gen_arrivals
+            )
+            self._gen_next = int(self._gen_due.min())
+        else:
+            lane.arrivals.reseed(self.cycle, lane.rng_arrivals)
 
     # -- sampling --------------------------------------------------------
 
@@ -891,6 +1020,307 @@ class BatchEngine:
         )
         message.cached_candidates = None
 
+    # ------------------------------------------------------------------
+    # relaxed identity: batched generation + table-driven routing kernels
+    # ------------------------------------------------------------------
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def _generate_relaxed(self, cycle: int) -> None:
+        """Lane-fused counterpart of _generate_lane: one due-mask poll
+        over every lane's per-node schedule, then per-lane batched gap
+        redraws and destination draws (each lane's own streams, sizes
+        determined only by its own schedule — composition-independent).
+
+        Frozen lanes hold _ARR_NEVER rows and never match the mask.
+        Gaps are >= 1, so a node fires at most once per poll, and due
+        node ids come out in ascending node order per lane (the scalar
+        heap yields them in heap order — a relaxed-identity difference).
+        """
+        due_f = self._gen_due_f
+        hits = np.nonzero(due_f <= cycle)[0]
+        n = self._num_nodes
+        lanes_h = hits // n
+        nodes_h = hits - lanes_h * n
+        cuts = np.nonzero(lanes_h[1:] != lanes_h[:-1])[0] + 1
+        bounds = np.empty(cuts.shape[0] + 2, dtype=np.intp)
+        bounds[0] = 0
+        bounds[1:-1] = cuts
+        bounds[-1] = hits.shape[0]
+        lanes = self.lanes
+        rate = self.injection_rate
+        dest_table = self._dest_table
+        for s, e in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+            lane = lanes[int(lanes_h[s])]
+            nodes = nodes_h[s:e]
+            due_f[hits[s:e]] = cycle + geometric_gaps(
+                e - s, rate, lane.gen_arrivals
+            )
+            dsts = sample_destinations(
+                dest_table, nodes, lane.gen_destinations
+            )
+            for node, dst in zip(nodes.tolist(), dsts.tolist()):
+                if dst >= 0:
+                    self._inject_relaxed(lane, node, dst, cycle)
+        self._gen_next = int(self._gen_due.min())
+
+    def _inject_relaxed(
+        self, lane: _Lane, src: int, dst: int, cycle: int
+    ) -> bool:
+        """_inject_lane with the per-(src, dst) callbacks memoized and the
+        route state replaced by an interned table row."""
+        entry = self._inject_cache.get((src, dst))
+        if entry is None:
+            algorithm = self.algorithm
+            state = algorithm.new_state(src, dst)
+            entry = (
+                self._table.row_for(src, dst, state),
+                algorithm.message_class(src, dst, state),
+                self.topology.distance(src, dst),
+            )
+            self._inject_cache[(src, dst)] = entry
+        row, msg_class, distance = entry
+        if not lane.controller.try_admit(src, msg_class):
+            return False
+        message = _BatchMessage(
+            msg_id=lane.msg_counter,
+            src=src,
+            dst=dst,
+            distance=distance,
+            route_state=self._table.rep_state[row],
+            msg_class=msg_class,
+            created_at=cycle,
+        )
+        message.route_row = row
+        lane.msg_counter += 1
+        lane.generated_total += 1
+        lane.in_flight += 1
+        lane.msgs[message.msg_id] = message
+        self._enqueue_route(lane, message)
+        return True
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def _route_relaxed(
+        self,
+        running: List[Tuple[int, _Lane]],
+        policy: str,
+    ) -> Dict[int, bool]:
+        """Vectorized routing/VC allocation over every lane's requests.
+
+        Each round gathers all pending requests' candidate rows from the
+        route table, evaluates freeness against the flushed owner array,
+        applies the selection policy with per-lane batched tie-break
+        draws, resolves same-VC conflicts by request order (lowest
+        (lane, route_seq) wins, matching the strict scan order), commits
+        the winners through the scalar bookkeeping seam, and re-rounds
+        the losers.  Requests whose candidates are all busy park exactly
+        as in the strict path.  Terminates because every round either
+        commits or parks at least one request.
+
+        Rng draws group per lane and depend only on that lane's own
+        request state (lanes never contend for each other's VCs), so a
+        lane's results are independent of the batch composition.
+        """
+        req_lane: List[int] = []
+        req_msgs: List[_BatchMessage] = []
+        flags: Dict[int, bool] = {}
+        for b, lane in running:
+            heap = lane.route_heap
+            if not heap:
+                continue
+            batch = sorted(heap)  # unique seqs: messages never compared
+            heap.clear()
+            for _seq, message in batch:
+                req_lane.append(b)
+                req_msgs.append(message)
+        if not req_msgs:
+            return flags
+        table = self._table
+        lanes = self.lanes
+        v = self._v
+        c = self._c
+        owner_f = self._owner_f
+        need_loads = self._pend_ch is not None
+        if need_loads and self._pend_ch:
+            # Land the pending release decrements before any loads gather.
+            np.subtract.at(
+                self._owned_ch_f,
+                np.asarray(self._pend_ch, dtype=np.intp),
+                1,
+            )
+            self._pend_ch.clear()
+        m = len(req_msgs)
+        lane_ids = np.asarray(req_lane, dtype=np.intp)
+        offs = lane_ids * self._cv
+        rows = np.empty(m, dtype=np.intp)
+        req_id = np.empty(m, dtype=np.int64)
+        req_up = np.empty(m, dtype=np.int64)
+        for j, message in enumerate(req_msgs):
+            rows[j] = message.route_row
+            req_id[j] = message.msg_id
+            path = message.path
+            req_up[j] = path[-1] if path else -1
+        act_ch = self._pa_act_ch
+        act_seq = self._pa_act_seq
+        alive = np.arange(m, dtype=np.intp)
+        while alive.shape[0]:
+            # Round start: land the previous round's reservations (and
+            # any pending ejection releases) in the owner array.
+            self._flush()
+            r = rows[alive]
+            cand = table.cand_flat[r]
+            valid = cand >= 0
+            # Padded (-1) candidates index a garbage cell; every read
+            # through `absc` is masked by `valid`.
+            absc = cand + offs[alive][:, None]
+            free = valid & (owner_f[absc] < 0)
+            nfree = free.sum(axis=1)
+            has = nfree > 0
+            if not has.all():
+                for j in alive[~has].tolist():
+                    lane = lanes[req_lane[j]]
+                    self._park_relaxed(
+                        lane,
+                        req_msgs[j],
+                        table.flats[req_msgs[j].route_row],
+                    )
+                alive = alive[has]
+                if not alive.shape[0]:
+                    break
+                r = r[has]
+                free = free[has]
+                nfree = nfree[has]
+                absc = absc[has]
+            if policy == "first":
+                k = free.argmax(axis=1)
+            elif policy == "random":
+                t = self._relaxed_tiebreaks(lane_ids[alive], nfree)
+                rank = free.cumsum(axis=1) - 1
+                k = (free & (rank == t[:, None])).argmax(axis=1)
+            else:  # least_multiplexed
+                # abs // V = lane * C + channel: loads gather without a
+                # second table lookup.
+                loads = np.where(
+                    free, self._owned_ch_f[absc // v], _LOAD_INF
+                )
+                tie = loads == loads.min(axis=1)[:, None]
+                t = self._relaxed_tiebreaks(
+                    lane_ids[alive], tie.sum(axis=1)
+                )
+                rank = tie.cumsum(axis=1) - 1
+                k = (tie & (rank == t[:, None])).argmax(axis=1)
+            chosen = absc[np.arange(alive.shape[0]), k]
+            # First occurrence per VC wins; requests are ordered by
+            # (lane, route_seq), so this is the strict sequential order.
+            win = np.zeros(alive.shape[0], dtype=bool)
+            win[np.unique(chosen, return_index=True)[1]] = True
+            jw = alive[win]
+            kw = k[win]
+            ca = chosen[win]
+            ro = r[win]
+            if need_loads:
+                np.add.at(self._owned_ch_f, ca // v, 1)
+            # Vectorized commit bookkeeping: the flat-array allocation
+            # scatters queue as one block (landed by the next _flush),
+            # successors gather from the table with a scalar fallback
+            # for first-traversal interning.
+            flat_w = ca - offs[jw]
+            isdst = table.term[ro, kw]
+            up = req_up[jw]
+            src_mask = up < 0
+            up_abs = np.where(src_mask, 0, offs[jw] + up)
+            self._pa_blocks.append(
+                (ca, req_id[jw], up, up_abs, src_mask, isdst)
+            )
+            srows = table.succ[ro, kw]
+            nonterm = np.nonzero(~isdst)[0]
+            miss = nonterm[srows[nonterm] < 0]
+            for i in miss.tolist():
+                srows[i] = table.successor(int(ro[i]), int(kw[i]))
+            rows[jw[nonterm]] = srows[nonterm]
+            for lb in np.unique(lane_ids[jw]).tolist():
+                flags[lb] = True
+            nd = table.cand_dst[ro, kw]
+            rep_state = table.rep_state
+            for j, flat, srow, term, node, s in zip(
+                jw.tolist(),
+                flat_w.tolist(),
+                srows.tolist(),
+                isdst.tolist(),
+                nd.tolist(),
+                src_mask.tolist(),
+            ):
+                b = req_lane[j]
+                lane = lanes[b]
+                message = req_msgs[j]
+                lane.owner_py[flat] = message.msg_id
+                channel = flat // v
+                cnt = lane.owned_py[channel] + 1
+                lane.owned_py[channel] = cnt
+                if cnt == 1:
+                    act_ch.append(b * c + channel)
+                    act_seq.append(lane.next_active_seq)
+                    lane.next_active_seq += 1
+                lane.owned_total += 1
+                message.path.append(flat)
+                if s:
+                    message.src_flat = flat
+                message.head_node = node
+                if not term:
+                    message.route_row = srow
+                    message.route_state = rep_state[srow]
+            alive = alive[~win]
+        return flags
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def _relaxed_tiebreaks(
+        self, lane_ids: np.ndarray, high: np.ndarray
+    ) -> np.ndarray:
+        """Per-lane batched tie-break draws: t[j] uniform in [0, high[j]).
+
+        Entries with high <= 1 draw nothing (the strict scalar _select
+        consumes rng only on a real choice, and the relaxed streams keep
+        that discipline so draw counts stay lane-local).  *lane_ids* is
+        non-decreasing (requests are built lane by lane), so the needed
+        draws split into contiguous per-lane segments, each served by one
+        Generator.integers call on its own lane's routing stream.
+        """
+        t = np.zeros(high.shape[0], dtype=np.int64)
+        need = np.nonzero(high > 1)[0]
+        if not need.shape[0]:
+            return t
+        nl = lane_ids[need]
+        cuts = np.nonzero(nl[1:] != nl[:-1])[0] + 1
+        bounds = np.empty(cuts.shape[0] + 2, dtype=np.intp)
+        bounds[0] = 0
+        bounds[1:-1] = cuts
+        bounds[-1] = nl.shape[0]
+        lanes = self.lanes
+        for s, e in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+            idx = need[s:e]
+            gen = lanes[int(nl[s])].gen_routing
+            t[idx] = gen.integers(high[idx])
+        return t
+
+    def _park_relaxed(
+        self,
+        lane: _Lane,
+        message: _BatchMessage,
+        flats: List[int],
+    ) -> None:
+        """_park over the route table's per-row flat-index list."""
+        epoch = message.park_epoch + 1
+        message.park_epoch = epoch
+        message.parked = True
+        lane.parked[message.msg_id] = message
+        waiters = lane.waiters
+        for flat in flats:
+            bucket = waiters.get(flat)
+            if bucket is None:
+                waiters[flat] = [(epoch, message)]
+            else:
+                bucket.append((epoch, message))
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _flush(self) -> None:
         """Apply the deferred allocation/release writes as array scatters.
 
@@ -908,33 +1338,64 @@ class BatchEngine:
         rows = self._pa_rows
         if rows:
             c_abs, c_id, c_up, c_up_abs, c_src, c_dst = zip(*rows)
-            a = np.asarray(c_abs, dtype=np.intp)
-            self._owner_f[a] = np.asarray(c_id, dtype=np.int64)
-            self._txable_f[a] = True
-            self._fin_f[a] = 0
-            self._fout_f[a] = 0
-            self._la_f[a] = -1
-            self._ld_f[a] = -1
-            self._ejected_f[a] = 0
-            src = np.asarray(c_src, dtype=bool)
-            self._up_f[a] = np.asarray(c_up, dtype=np.int32)
-            up_abs = np.asarray(c_up_abs, dtype=np.intp)
-            self._up_abs_f[a] = up_abs
-            self._issrc_f[a] = src
-            self._front_f[a] = True
-            # The upstream VC stops being the worm front (its head moved
-            # on); disjoint from `a` — a message allocates at most one
-            # hop per cycle, so an upstream hop predates this batch.
-            self._front_f[up_abs[~src]] = False
-            self._isdst_f[a] = np.asarray(c_dst, dtype=bool)
-            self._inject_f[a[src]] = self._length
+            self._flush_alloc(
+                np.asarray(c_abs, dtype=np.intp),
+                np.asarray(c_id, dtype=np.int64),
+                np.asarray(c_up, dtype=np.int64),
+                np.asarray(c_up_abs, dtype=np.intp),
+                np.asarray(c_src, dtype=bool),
+                np.asarray(c_dst, dtype=bool),
+            )
             rows.clear()
+        blocks = self._pa_blocks
+        if blocks:
+            if len(blocks) == 1:
+                self._flush_alloc(*blocks[0])
+            else:
+                self._flush_alloc(
+                    *(
+                        np.concatenate(parts)
+                        for parts in zip(*blocks)
+                    )
+                )
+            blocks.clear()
         if self._pa_act_ch:
             self._active_seq_f[
                 np.asarray(self._pa_act_ch, dtype=np.intp)
             ] = np.asarray(self._pa_act_seq, dtype=np.int64)
             self._pa_act_ch.clear()
             self._pa_act_seq.clear()
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def _flush_alloc(
+        self,
+        a: np.ndarray,
+        ids: np.ndarray,
+        up: np.ndarray,
+        up_abs: np.ndarray,
+        src: np.ndarray,
+        isdst: np.ndarray,
+    ) -> None:
+        """Land one batch of allocation scatters in the flat arrays."""
+        self._owner_f[a] = ids
+        self._txable_f[a] = True
+        self._fin_f[a] = 0
+        self._fout_f[a] = 0
+        self._la_f[a] = -1
+        self._ld_f[a] = -1
+        self._ejected_f[a] = 0
+        self._up_f[a] = up.astype(np.int32)
+        # Source-fed VCs gather supply from their own inject cell in the
+        # pool's upper half (see _supply_pool).
+        self._up_abs_f[a] = np.where(src, a + self._n_flat, up_abs)
+        self._issrc_f[a] = src
+        self._front_f[a] = True
+        # The upstream VC stops being the worm front (its head moved
+        # on); disjoint from `a` — a message allocates at most one
+        # hop per cycle, so an upstream hop predates this batch.
+        self._front_f[up_abs[~src]] = False
+        self._isdst_f[a] = isdst
+        self._inject_f[a[src]] = self._length
 
     # ------------------------------------------------------------------
     # phase 4: transmission (the vectorized core)
@@ -965,23 +1426,29 @@ class BatchEngine:
         np.less(self._occ_f, self._cap, out=tmp)
         np.logical_and(ready, tmp, out=ready)
         # Supply: the settled upstream occupancy, or the remaining source
-        # flits on source-fed VCs (one gather + one masked overwrite).
-        np.take(self._occ_f, self._up_abs_f, out=self._sc_upocc)
-        np.copyto(self._sc_upocc, self._inject_f, where=self._issrc_f)
+        # flits on source-fed VCs — one gather from the shared pool (a
+        # VC's supply index points at its upstream's occupancy cell or
+        # its own inject cell, set at allocation time).
+        np.take(self._supply_pool, self._up_abs_f, out=self._sc_upocc)
         np.greater(self._sc_upocc, 0, out=tmp)
         np.logical_and(ready, tmp, out=ready)
         if not self._all_on:
             np.logical_and(ready, self._lane_mask_f, out=ready)
 
         # Per-channel winner: the ready VC with the smallest packed mux
-        # key.  One min reduction delivers the rank and (low six bits)
-        # the winning VC; an all-sentinel channel has no mover.
-        key = self._sc_key
-        ready3 = ready.reshape(b, c, v)
-        np.copyto(key, self._sentinel)
-        np.copyto(key, self._rr_key, where=ready3)
-        minv = self._sc_min
-        key.min(axis=2, out=minv)
+        # key.  Not-ready VCs get their key pushed up by one sentinel
+        # (keys are < sentinel, so winner keys and the mover test are
+        # unaffected); a min fold per channel delivers the rank and
+        # (low six bits) the winning VC.
+        key_f = self._sc_key_f
+        np.logical_not(ready, out=tmp)
+        np.multiply(tmp, self._sentinel, out=key_f, casting="unsafe")
+        key2 = self._sc_key2
+        np.add(key2, self._rr_key2, out=key2)
+        minv_f = self._sc_min_f
+        np.copyto(minv_f, key2[:, 0])
+        for i in range(1, v):
+            np.minimum(minv_f, key2[:, i], out=minv_f)
         np.less(self._sc_min_f, self._sentinel, out=self._sc_move)
         mv = np.nonzero(self._sc_move)[0]  # absolute channel: b*C + c
         if mv.shape[0] == 0:
@@ -1095,6 +1562,10 @@ class BatchEngine:
         lane.owner_py[flat] = -1
         lane.owned_py[flat // self._v] -= 1
         lane.owned_total -= 1
+        if self._pend_ch is not None:
+            self._pend_ch.append(
+                lane.index * self._c + flat // self._v
+            )
         self._pend_rel.append(lane.off + flat)
         self._wake_waiters(lane, flat)
 
@@ -1242,6 +1713,24 @@ class BatchEngine:
             (f // v, f % v) for f in lane.delivering
         )
         controller = lane.controller
+        if self._relaxed:
+            # Relaxed lanes draw from the numpy streams; digest those
+            # (repr keeps the tuple hashable) instead of the untouched
+            # scalar streams.
+            next_due = int(self._gen_due[b].min())
+            rng_fp: Tuple[Any, ...] = tuple(
+                repr(lane.rng.numpy_stream(name).bit_generator.state)
+                for name in (
+                    STREAM_ARRIVALS, STREAM_DESTINATIONS, STREAM_ROUTING
+                )
+            )
+        else:
+            next_due = lane.arrivals.next_due
+            rng_fp = (
+                lane.rng.stream(STREAM_ARRIVALS).getstate(),
+                lane.rng.stream(STREAM_DESTINATIONS).getstate(),
+                lane.rng.stream(STREAM_ROUTING).getstate(),
+            )
         return (
             lane.cycle,
             lane.msg_counter,
@@ -1249,7 +1738,7 @@ class BatchEngine:
             lane.generated_total,
             lane.delivered_total,
             lane.in_flight,
-            lane.arrivals.next_due,
+            next_due,
             controller.admitted,
             controller.refused,
             tuple(sorted(controller._outstanding.items())),
@@ -1257,10 +1746,7 @@ class BatchEngine:
             messages_fp,
             delivering,
             tuple(channels_fp),
-            lane.rng.stream(STREAM_ARRIVALS).getstate(),
-            lane.rng.stream(STREAM_DESTINATIONS).getstate(),
-            lane.rng.stream(STREAM_ROUTING).getstate(),
-        )
+        ) + rng_fp
 
 
 __all__ = ["BatchEngine"]

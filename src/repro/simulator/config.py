@@ -52,6 +52,17 @@ SCHEDULERS = ("scan", "active")
 #: control and wormhole/VCT switching (see the batch module docstring).
 BACKENDS = ("object", "batch")
 
+#: Batch-backend identity modes: "strict" reproduces the object engine's
+#: flit schedule bit-identically per seed (per-lane ``random.Random``
+#: streams, scalar routing seam); "relaxed" replaces the per-lane streams
+#: with numpy ``Generator`` draws batched per phase and runs routing/VC
+#: allocation through vectorized table-driven kernels.  Relaxed results
+#: are still deterministic per (config, seed) — independent of batch
+#: composition — but differ per seed from the object engine; their
+#: *distributions* are validated against it by the statistical-
+#: equivalence harness (:mod:`repro.analysis.equivalence`).
+IDENTITY_MODES = ("strict", "relaxed")
+
 
 @dataclass
 class SimulationConfig:
@@ -99,6 +110,13 @@ class SimulationConfig:
     #: (bit-identical per seed; requires conservative flow control and
     #: wormhole/VCT switching, and ignores `scheduler`).
     backend: str = "object"
+    #: Batch-backend identity mode (see :data:`IDENTITY_MODES`).
+    #: "strict" (default) keeps the bit-identical path; "relaxed" trades
+    #: per-seed bit-identity for vectorized rng + routing kernels and is
+    #: only meaningful (and only allowed) with ``backend="batch"``.
+    #: Recorded in campaign-store signatures, so strict and relaxed
+    #: results never alias in a shared store.
+    identity: str = "strict"
 
     # -- traffic ------------------------------------------------------------
     traffic: str = "uniform"
@@ -163,6 +181,14 @@ class SimulationConfig:
         require(self.backend in BACKENDS,
                 f"backend must be one of {BACKENDS}, "
                 f"got {self.backend!r}")
+        require(self.identity in IDENTITY_MODES,
+                f"identity must be one of {IDENTITY_MODES}, "
+                f"got {self.identity!r}")
+        if self.identity == "relaxed":
+            require(self.backend == "batch",
+                    "identity='relaxed' requires backend='batch': the "
+                    "object engine is the strict oracle and has no "
+                    "relaxed execution path")
         if self.backend == "batch":
             require(self.flow_control == "conservative",
                     "backend='batch' requires flow_control='conservative' "
@@ -228,6 +254,7 @@ class SimulationConfig:
 
 __all__ = [
     "BACKENDS",
+    "IDENTITY_MODES",
     "SCHEDULERS",
     "SELECTION_POLICIES",
     "SWITCHING_MODES",

@@ -15,6 +15,8 @@ import math
 import random
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.util.validation import require_probability
 
 #: Sentinel gap for a zero-rate process (effectively "never").
@@ -90,4 +92,79 @@ class GeometricArrivals:
         self.next_due = self._heap[0][0] if self._heap else _NEVER
 
 
-__all__ = ["GeometricArrivals"]
+def geometric_gaps(
+    count: int, rate: float, gen: "np.random.Generator"
+) -> np.ndarray:
+    """*count* geometric interarrival gaps (support 1, 2, 3, ...).
+
+    The batched inverse-CDF transform — the same per-draw math as
+    :meth:`GeometricArrivals._gap`, over a numpy Generator.  Shared by
+    :class:`BatchedGeometricArrivals` and the batch engine's lane-fused
+    arrival kernel.
+    """
+    if rate >= 1.0:
+        return np.ones(count, dtype=np.int64)
+    if rate <= 0.0:
+        return np.full(count, _NEVER, dtype=np.int64)
+    u = gen.random(count)
+    gaps = np.log1p(-u) / math.log(1.0 - rate)
+    return gaps.astype(np.int64) + 1
+
+
+class BatchedGeometricArrivals:
+    """Vectorized counterpart of :class:`GeometricArrivals`.
+
+    Same geometric interarrival process, but the per-node due cycles live
+    in one numpy array and every redraw is a batched inverse-CDF over a
+    numpy :class:`~numpy.random.Generator` — one vector draw per poll
+    instead of one scalar draw per message.  Used by the batch backend's
+    relaxed identity mode; the draw *order* differs from the heap-based
+    scalar process (statistically equivalent, not bit-identical).
+    """
+
+    __slots__ = ("num_nodes", "rate", "next_due", "_due", "_started")
+
+    def __init__(self, num_nodes: int, rate: float) -> None:
+        require_probability(rate, "rate")
+        self.num_nodes = num_nodes
+        self.rate = rate
+        self.next_due = _NEVER
+        self._due = np.full(num_nodes, _NEVER, dtype=np.int64)
+        self._started = False
+
+    def _gaps(self, count: int, gen: np.random.Generator) -> np.ndarray:
+        return geometric_gaps(count, self.rate, gen)
+
+    def start(self, now: int, gen: np.random.Generator) -> None:
+        """Schedule every node's first arrival at or after cycle *now*."""
+        self._started = True
+        self._due = now - 1 + self._gaps(self.num_nodes, gen)
+        self.next_due = int(self._due.min()) if self.num_nodes else _NEVER
+
+    def pop_due(self, now: int, gen: np.random.Generator) -> np.ndarray:
+        """Nodes generating a message at cycle *now*; reschedules each.
+
+        Returns the due node ids in ascending node order (the scalar
+        process yields them in heap order — a relaxed-identity
+        difference).  Gaps are >= 1, so a node fires at most once per
+        poll.
+        """
+        assert self._started, "call start() before polling arrivals"
+        due = self._due
+        nodes = np.nonzero(due <= now)[0]
+        if nodes.shape[0]:
+            due[nodes] = now + self._gaps(nodes.shape[0], gen)
+            self.next_due = int(due.min())
+        return nodes
+
+    def reseed(self, now: int, gen: np.random.Generator) -> None:
+        """Re-draw all pending gaps from a fresh stream."""
+        self._due = now + self._gaps(self.num_nodes, gen)
+        self.next_due = int(self._due.min()) if self.num_nodes else _NEVER
+
+
+__all__ = [
+    "BatchedGeometricArrivals",
+    "GeometricArrivals",
+    "geometric_gaps",
+]

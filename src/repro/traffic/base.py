@@ -17,6 +17,8 @@ import random
 from abc import ABC, abstractmethod
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from repro.topology.base import Topology
 
 
@@ -30,6 +32,7 @@ class TrafficPattern(ABC):
         self.topology = topology
         self._hop_class_weights: Optional[Dict[int, float]] = None
         self._mean_distance: Optional[float] = None
+        self._destination_table: Optional[np.ndarray] = None
 
     @abstractmethod
     def sample_destination(
@@ -88,8 +91,55 @@ class TrafficPattern(ABC):
             )
         return self._mean_distance
 
+    # -- batched sampling ------------------------------------------------------
+
+    def destination_table(self) -> np.ndarray:
+        """Per-source cumulative destination distribution, [N, N] float64.
+
+        Row *s* holds ``P(dst <= d | generated at s)`` over destination
+        index *d*, built once from :meth:`destination_distribution` (so
+        it is exact for every pattern, including renormalized ones like
+        hotspot).  A source that never generates has an all-zero row —
+        :func:`sample_destinations` maps it to the sentinel ``-1``, the
+        batched counterpart of :meth:`sample_destination` returning
+        ``None``.  Cached per pattern instance.
+        """
+        if self._destination_table is None:
+            n = self.topology.num_nodes
+            probs = np.zeros((n, n), dtype=np.float64)
+            for src in range(n):
+                for dst, prob in self.destination_distribution(src).items():
+                    probs[src, dst] = prob
+            cum = np.cumsum(probs, axis=1)
+            # Normalize away cumsum float drift: every active row must
+            # end at exactly 1.0, or a uniform drawn in [cum[-1], 1)
+            # would fall past the table and silently drop a message.
+            active = cum[:, -1] > 0.0
+            cum[active] /= cum[active, -1][:, None]
+            self._destination_table = cum
+        return self._destination_table
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}({self.topology!r})"
+
+
+def sample_destinations(
+    table: np.ndarray, srcs: np.ndarray, gen: np.random.Generator
+) -> np.ndarray:
+    """Batched destination draw for the sources *srcs*.
+
+    *table* is a :meth:`TrafficPattern.destination_table`; one uniform
+    per source indexes its cumulative row (``dst`` is the smallest index
+    whose cumulative probability exceeds the draw).  Sources whose row
+    carries no probability mass (never generate) yield ``-1``.  The
+    per-(src, dst) probabilities match the scalar
+    :meth:`~TrafficPattern.sample_destination` exactly; only the stream
+    of uniforms differs (relaxed identity).
+    """
+    u = gen.random(srcs.shape[0])
+    rows = table[srcs]
+    drawn = (u[:, None] >= rows).sum(axis=1)
+    return np.where(drawn < table.shape[1], drawn, -1)
 
 
 class UniformOverSetPattern(TrafficPattern):
@@ -115,4 +165,8 @@ class UniformOverSetPattern(TrafficPattern):
         return {dst: prob for dst in candidates}
 
 
-__all__ = ["TrafficPattern", "UniformOverSetPattern"]
+__all__ = [
+    "TrafficPattern",
+    "UniformOverSetPattern",
+    "sample_destinations",
+]

@@ -15,6 +15,8 @@ from __future__ import annotations
 import random
 from typing import Dict
 
+import numpy as np
+
 from repro.util.validation import require_type
 
 #: Canonical stream names used by the simulator.  Arbitrary extra names are
@@ -41,6 +43,7 @@ class RngStreams:
         self._root_seed = root_seed
         self._epoch = 0
         self._streams: Dict[str, random.Random] = {}
+        self._numpy_streams: Dict[str, np.random.Generator] = {}
 
     @property
     def root_seed(self) -> int:
@@ -61,6 +64,26 @@ class RngStreams:
             self._streams[name] = existing
         return existing
 
+    def numpy_stream(self, name: str) -> np.random.Generator:
+        """The numpy counterpart of :meth:`stream`, for batched draws.
+
+        Seeded from the exact same ``_mix(root_seed, name, epoch)``
+        schedule as the scalar streams (over PCG64), so an experiment's
+        numpy draws are reproducible from the same root seed and renew
+        on the same epoch boundaries.  The numpy stream named *name* and
+        the :class:`random.Random` stream of the same name are seeded
+        alike but produce unrelated sequences — callers use one or the
+        other per run (the batch backend's identity modes), never both.
+        """
+        require_type(name, str, "name")
+        existing = self._numpy_streams.get(name)
+        if existing is None:
+            existing = np.random.Generator(
+                np.random.PCG64(self._derive_seed(name))
+            )
+            self._numpy_streams[name] = existing
+        return existing
+
     def advance_epoch(self) -> None:
         """Replace every existing stream with a freshly seeded one.
 
@@ -70,6 +93,10 @@ class RngStreams:
         self._epoch += 1
         for name in list(self._streams):
             self._streams[name] = random.Random(self._derive_seed(name))
+        for name in list(self._numpy_streams):
+            self._numpy_streams[name] = np.random.Generator(
+                np.random.PCG64(self._derive_seed(name))
+            )
 
     def spawn(self, label: str) -> "RngStreams":
         """Derive an independent child family (e.g. one per node)."""

@@ -157,6 +157,29 @@ class TestCampaignSpec:
         assert len({campaign_signature(c) for c in configs}) == 1
         assert len({point_key(c) for c in configs}) == len(configs)
 
+    def test_identity_mode_splits_the_signature_backend_does_not(self):
+        # Strict batch results are bit-identical to object results, so
+        # the two backends share one content address — but relaxed
+        # results are only statistically equivalent and must live under
+        # their own signature, never served where strict was asked for.
+        base = tiny_config(
+            flow_control="conservative", backend="batch"
+        )
+        strict_batch = dataclasses.replace(base, identity="strict")
+        relaxed = dataclasses.replace(base, identity="relaxed")
+        object_engine = dataclasses.replace(
+            base, backend="object", identity="strict"
+        )
+        assert campaign_signature(strict_batch) == campaign_signature(
+            object_engine
+        )
+        assert campaign_signature(relaxed) != campaign_signature(
+            strict_batch
+        )
+        assert config_record_dict(relaxed) != config_record_dict(
+            strict_batch
+        )
+
     @pytest.mark.parametrize(
         "kwargs",
         [
@@ -294,6 +317,47 @@ class TestResultStore:
         cached, missing = store.coverage(configs)
         assert cached == 1
         assert missing == [configs[1]]
+
+    def test_gc_compacts_superseded_lines(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        config = tiny_config(seed=4)
+        result = run_point(config)
+        store = ResultStore(str(path))
+        store.put(config, result)
+        # Forge the on-disk state the append-only path can leave behind:
+        # the same record shadowed twice (last-record-wins on load).
+        line = path.read_text()
+        path.write_text(line * 3)
+        reloaded = ResultStore(str(path))
+        stats = reloaded.gc()
+        assert stats["lines_before"] == 3
+        assert stats["lines_after"] == 1
+        assert stats["dropped_lines"] == 2
+        assert stats["live_records"] == 1
+        assert stats["bytes_after"] < stats["bytes_before"]
+        assert stats["sidecars_removed"] == []
+        # The surviving line still serves the record.
+        assert ResultStore(str(path)).get(config) == result
+
+    def test_gc_purges_sidecars_only_on_request(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        config = tiny_config(seed=4)
+        store = ResultStore(str(path))
+        store.put(config, run_point(config))
+        corrupt = tmp_path / "store.jsonl.corrupt"
+        corrupt.write_text("quarantined junk\n")
+        assert store.gc()["sidecars_removed"] == []
+        assert corrupt.exists()
+        stats = store.gc(purge_sidecars=True)
+        assert stats["sidecars_removed"] == [str(corrupt)]
+        assert not corrupt.exists()
+
+    def test_gc_on_missing_store_is_a_noop(self, tmp_path):
+        store = ResultStore(str(tmp_path / "absent.jsonl"))
+        stats = store.gc()
+        assert stats["lines_before"] == 0
+        assert stats["dropped_lines"] == 0
+        assert not (tmp_path / "absent.jsonl").exists()
 
 
 class TestCrossCampaignMemoization:
@@ -485,6 +549,27 @@ class TestCampaignCli:
         )
         assert code == 3
         assert "not in the store yet" in capsys.readouterr().err
+
+    def test_gc_subcommand_reports_compaction(
+        self, tmp_path, spec_file, capsys
+    ):
+        store = str(tmp_path / "store.jsonl")
+        campaign_main(["run", spec_file, "--store", store, "--quiet"])
+        with open(store) as stream:
+            line = stream.read()
+        with open(store, "w") as stream:
+            stream.write(line * 2)  # shadowed duplicate
+        sidecar = tmp_path / "store.jsonl.stale"
+        sidecar.write_text("old schema\n")
+        capsys.readouterr()
+        assert campaign_main(
+            ["gc", "--store", store, "--purge-sidecars"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 live" in out
+        assert "1 superseded line(s) dropped (2 -> 1)" in out
+        assert "removed sidecar:" in out
+        assert not sidecar.exists()
 
     def test_usage_errors_exit_2(self, tmp_path, spec_file, capsys):
         store = str(tmp_path / "store.jsonl")

@@ -1,0 +1,167 @@
+"""Rng-draw parity between Engine._select and BatchEngine._select.
+
+The strict batch backend replays the object engine's routing decisions
+over mirror state (``owner_py`` / ``owned_py`` lists instead of VC /
+channel objects).  Bit-identity of whole runs rests on one local
+contract: for the same candidate set, occupancy and channel loads, both
+selectors must pick the same candidate AND consume the random stream
+identically — a ``randrange`` fires exactly when the final filtered set
+(free candidates under "random", tied-for-least-multiplexed under
+"least_multiplexed") has more than one entry, and never otherwise.
+
+Hypothesis fuzzes synthetic candidate sets through both implementations
+side by side.  The stubs mirror exactly the attributes each selector
+reads (``vc.owner`` / ``channel.owned_count`` for the object engine,
+``owner_py`` / ``owned_py`` lists for the batch mirror), so the test
+pins the contract without building networks.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.batch import BatchEngine
+from repro.simulator.engine import Engine
+
+
+class _RecordingRandom(random.Random):
+    """random.Random that logs every randrange(n) argument."""
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self.calls = []
+
+    def randrange(self, *args, **kwargs):  # noqa: D102
+        self.calls.append(args)
+        return super().randrange(*args, **kwargs)
+
+
+class _VCStub:
+    __slots__ = ("owner",)
+
+    def __init__(self, occupied):
+        self.owner = object() if occupied else None
+
+
+class _ChannelStub:
+    __slots__ = ("owned_count",)
+
+    def __init__(self, owned_count):
+        self.owned_count = owned_count
+
+
+class _ScratchStub:
+    """Just the two scratch lists both selectors reuse."""
+
+    def __init__(self):
+        self._free_scratch = []
+        self._best_scratch = []
+
+
+class _LaneStub:
+    def __init__(self, owner_py, owned_py):
+        self.owner_py = owner_py
+        self.owned_py = owned_py
+
+
+# One fuzzed candidate: occupied? + owned_count of its channel.
+_candidate = st.tuples(
+    st.booleans(), st.integers(min_value=0, max_value=4)
+)
+_cases = st.tuples(
+    st.lists(_candidate, min_size=1, max_size=6),
+    st.sampled_from(["first", "random", "least_multiplexed"]),
+    st.integers(min_value=0, max_value=2**16),
+)
+
+
+def _final_set_size(entries, policy):
+    """Size of the set the selector tiebreaks over (0 = no pick)."""
+    free = [entry for entry in entries if not entry[0]]
+    if not free:
+        return 0
+    if policy == "first":
+        return 1
+    if policy == "random":
+        return len(free)
+    best_load = min(load for _, load in free)
+    return sum(1 for _, load in free if load == best_load)
+
+
+@given(case=_cases)
+@settings(max_examples=300, deadline=None)
+def test_select_parity_and_rng_contract(case):
+    entries, policy, seed = case
+
+    # Object-engine view: (vc, channel) with one channel per candidate.
+    object_candidates = [
+        (_VCStub(occupied), _ChannelStub(load))
+        for occupied, load in entries
+    ]
+    # Batch mirror view: entry = (flat_vc, channel_index, vc_class,
+    # link); indices 2/3 are never read by _select.
+    owner_py = [0 if occupied else -1 for occupied, _ in entries]
+    owned_py = [load for _, load in entries]
+    batch_candidates = [
+        (index, index, 0, None) for index in range(len(entries))
+    ]
+
+    rng_object = _RecordingRandom(seed)
+    rng_batch = _RecordingRandom(seed)
+    picked_object = Engine._select(
+        _ScratchStub(), object_candidates, policy, rng_object
+    )
+    picked_batch = BatchEngine._select(
+        _ScratchStub(),
+        _LaneStub(owner_py, owned_py),
+        batch_candidates,
+        policy,
+        rng_batch,
+    )
+
+    # Same decision, expressed in each backend's own currency.
+    if picked_object is None:
+        assert picked_batch is None
+    else:
+        assert picked_batch is not None
+        assert picked_batch[0] == object_candidates.index(picked_object)
+
+    # Identical rng consumption: same call count AND same arguments.
+    assert rng_object.calls == rng_batch.calls
+
+    # The draw-iff-ambiguous contract: randrange fires exactly when the
+    # final filtered set holds >= 2 candidates.  A single-candidate
+    # request never draws, whatever the policy.
+    final = _final_set_size(entries, policy)
+    expected_calls = (
+        [(final,)] if final > 1 and len(entries) > 1 else []
+    )
+    assert rng_object.calls == expected_calls
+
+
+@given(
+    occupied=st.booleans(),
+    policy=st.sampled_from(["first", "random", "least_multiplexed"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_single_candidate_never_draws(occupied, policy):
+    """The len==1 early-out bypasses the rng in both backends."""
+    rng_object = _RecordingRandom(7)
+    rng_batch = _RecordingRandom(7)
+    picked_object = Engine._select(
+        _ScratchStub(),
+        [(_VCStub(occupied), _ChannelStub(0))],
+        policy,
+        rng_object,
+    )
+    picked_batch = BatchEngine._select(
+        _ScratchStub(),
+        _LaneStub([0 if occupied else -1], [0]),
+        [(0, 0, 0, None)],
+        policy,
+        rng_batch,
+    )
+    assert (picked_object is None) == occupied
+    assert (picked_batch is None) == occupied
+    assert rng_object.calls == [] and rng_batch.calls == []
