@@ -74,12 +74,18 @@ WARMUP_CYCLES = 1500
 BATCH_SIZES = (1, 8, 32)
 
 #: Rows checked by the --compare regression gate, with the throughput
-#: field each is judged on.  Object and batch backends are both gated.
+#: field each is judged on.  Object and batch backends are both gated;
+#: congested batch rows are additionally held to their flit-event
+#: throughput, which catches regressions that cycle rates mask (e.g. a
+#: change that stalls traffic, moving fewer flits per cycle).  Older
+#: baselines lacking a gated field are skipped with a warning.
 _GATED_ROWS = (
     ("congested", "cycles_per_sec"),
     ("congested_conservative", "cycles_per_sec"),
     ("batch_b32", "aggregate_cycles_per_sec"),
+    ("batch_b32", "flit_events_per_sec"),
     ("batch_relaxed_b32", "aggregate_cycles_per_sec"),
+    ("batch_relaxed_b32", "flit_events_per_sec"),
 )
 
 
@@ -397,9 +403,13 @@ def compare_reports(
                 ok = False
             else:
                 status = "WARN (host differs)"
+            unit = (
+                "flit-ev/s" if field == "flit_events_per_sec"
+                else "cyc/s"
+            )
             lines.append(
                 f"{algorithm:6s} {row_name:22s} "
-                f"{cur_value:>9.0f} cyc/s vs expected "
+                f"{cur_value:>9.0f} {unit} vs expected "
                 f"{expected:>9.0f} ({ratio:6.2f}x)  {status}"
             )
     if compared == 0:

@@ -6,6 +6,7 @@ Subcommands::
     repro-campaign run --figure 3 --profile quick --store store.jsonl
     repro-campaign status --store store.jsonl [spec.json]
     repro-campaign gc --store store.jsonl [--purge-sidecars]
+                      [--max-age-days D] [--max-size-mb M]
     repro-campaign export spec.json --store store.jsonl --csv out.csv
 
 ``run`` simulates only the points the store has never seen (a repeated
@@ -127,6 +128,15 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         help="also delete .corrupt/.stale quarantine sidecars left by "
              "earlier recoveries (inspect them first)",
     )
+    gc.add_argument(
+        "--max-age-days", type=float, default=None, metavar="D",
+        help="evict records older than D days (records without a "
+             "recorded_at stamp count as oldest)",
+    )
+    gc.add_argument(
+        "--max-size-mb", type=float, default=None, metavar="M",
+        help="evict oldest records until the store file fits M MiB",
+    )
 
     export = commands.add_parser(
         "export",
@@ -227,13 +237,27 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 def _cmd_gc(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
-    stats = store.gc(purge_sidecars=args.purge_sidecars)
+    stats = store.gc(
+        purge_sidecars=args.purge_sidecars,
+        max_age_days=args.max_age_days,
+        max_size_mb=args.max_size_mb,
+    )
     print(f"store: {args.store}")
     print(
         f"records: {stats['live_records']} live; "
         f"{stats['dropped_lines']} superseded line(s) dropped "
         f"({stats['lines_before']} -> {stats['lines_after']})"
     )
+    if args.max_age_days is not None:
+        print(
+            f"evicted {stats['evicted_age']} record(s) older than "
+            f"{args.max_age_days:g} day(s)"
+        )
+    if args.max_size_mb is not None:
+        print(
+            f"evicted {stats['evicted_size']} record(s) to fit "
+            f"{args.max_size_mb:g} MiB"
+        )
     print(
         f"bytes: {stats['bytes_before']} -> {stats['bytes_after']}"
     )

@@ -38,6 +38,7 @@ import json
 import os
 import shutil
 import tempfile
+import time
 import warnings
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -328,6 +329,10 @@ class ResultStore:
             "point": point,
             "config": config_dict,
             "result": result.to_json_dict(),
+            # Unix epoch seconds; drives the gc retention budgets.
+            # Older records without the field sort as epoch 0 (evicted
+            # first under any budget).
+            "recorded_at": time.time(),
         }
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
@@ -350,7 +355,13 @@ class ResultStore:
 
     # -- maintenance -----------------------------------------------------
 
-    def gc(self, purge_sidecars: bool = False) -> Dict[str, Any]:
+    def gc(
+        self,
+        purge_sidecars: bool = False,
+        max_age_days: Optional[float] = None,
+        max_size_mb: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
         """Compact the store file down to one line per live record.
 
         The append-only write path can leave superseded lines behind —
@@ -363,8 +374,19 @@ class ResultStore:
         ``<path>.stale``) left by earlier recoveries are deleted too —
         only ask for that once their contents have been inspected.
 
+        Retention budgets evict *live* records, oldest first by their
+        ``recorded_at`` stamp (records predating the stamp sort as
+        epoch 0, so legacy entries go first):
+
+        * *max_age_days* drops every record older than the cutoff
+          (relative to *now*, default wall clock — injectable for
+          tests).
+        * *max_size_mb* then evicts oldest-first until the rewritten
+          file fits the budget (sized as each record's JSON line).
+
         Returns a stats dict: lines/bytes before and after, the number
-        of superseded lines dropped, and the sidecar paths removed.
+        of superseded lines dropped, records evicted by each budget,
+        and the sidecar paths removed.
         """
 
         def measure() -> Tuple[int, int]:
@@ -375,8 +397,47 @@ class ResultStore:
             lines = sum(1 for line in text.splitlines() if line.strip())
             return lines, len(text.encode("utf-8"))
 
+        def stamp(key: str) -> float:
+            value = self._records[key].get("recorded_at")
+            try:
+                return float(value) if value is not None else 0.0
+            except (TypeError, ValueError):
+                return 0.0
+
         lines_before, bytes_before = measure()
-        if lines_before or self._records:
+
+        evicted_age = 0
+        if max_age_days is not None:
+            if now is None:
+                now = time.time()
+            cutoff = now - max_age_days * 86400.0
+            stale = [
+                key for key in self._records if stamp(key) < cutoff
+            ]
+            for key in stale:
+                del self._records[key]
+                self._decoded.pop(key, None)
+            evicted_age = len(stale)
+
+        evicted_size = 0
+        if max_size_mb is not None:
+            budget = max_size_mb * 1024.0 * 1024.0
+            # Size each record as the JSON line _rewrite would emit.
+            sizes = {
+                key: len(json.dumps(record)) + 1
+                for key, record in self._records.items()
+            }
+            total = float(sum(sizes.values()))
+            # Oldest first; key breaks recorded_at ties deterministically.
+            for key in sorted(self._records, key=lambda k: (stamp(k), k)):
+                if total <= budget:
+                    break
+                total -= sizes[key]
+                del self._records[key]
+                self._decoded.pop(key, None)
+                evicted_size += 1
+
+        if lines_before or self._records or evicted_age or evicted_size:
             self._rewrite()
         lines_after, bytes_after = measure()
 
@@ -390,10 +451,16 @@ class ResultStore:
         return {
             "lines_before": lines_before,
             "lines_after": lines_after,
-            "dropped_lines": lines_before - lines_after,
+            # Superseded-duplicate lines only; budget evictions are
+            # reported separately so the CLI's labels stay truthful.
+            "dropped_lines": max(
+                0, lines_before - lines_after - evicted_age - evicted_size
+            ),
             "bytes_before": bytes_before,
             "bytes_after": bytes_after,
             "live_records": len(self._records),
+            "evicted_age": evicted_age,
+            "evicted_size": evicted_size,
             "sidecars_removed": removed,
         }
 

@@ -44,16 +44,23 @@ supported (conservative wormhole uses the 2-flit buffers
 **Relaxed identity** (``identity="relaxed"``) trades per-seed
 bit-identity for speed past the scalar seam: per-lane ``random.Random``
 streams become per-lane numpy Generators with draws batched per phase
-(geometric arrival gaps, destination sampling, routing tie-breaks), and
-the scalar routing/VC-allocation loop becomes a round-based vectorized
-kernel gathering candidate sets from an interned
-:class:`repro.routing.tables.RouteTable`.  Results remain deterministic
-per (config, seed) and independent of batch composition — each lane's
-draw sequence depends only on its own state — but differ per seed from
-the strict schedule; their distributions are validated against strict
-runs by :mod:`repro.analysis.equivalence`.
+(geometric arrival gaps and destination uniforms prefetched through
+stream-order-preserving buffers, routing tie-breaks drawn per round),
+and the scalar routing/VC-allocation loop becomes a round-based
+vectorized kernel gathering candidate sets from an interned
+:class:`repro.routing.tables.RouteTable`.  Message state itself is
+structure-of-arrays (:class:`repro.simulator.soa.MessageSlab`):
+per-message columns in ``[B, M]`` slabs addressed by free-list-recycled
+slots, so no ``_BatchMessage`` object is constructed or touched
+anywhere on the relaxed per-cycle path (strict mode keeps the object
+representation — it is the bit-identity oracle).  Results remain
+deterministic per (config, seed) and independent of batch composition —
+each lane's draw and buffer consumption sequence depends only on its
+own state — but differ per seed from the strict schedule; their
+distributions are validated against strict runs by
+:mod:`repro.analysis.equivalence`.
 
-**Performance structure.**  The per-cycle cost has three tiers:
+**Performance structure.**  The strict per-cycle cost has three tiers:
 
 1. the transmit/eject kernels — whole-array work shared by all lanes,
    indexed through 1-D views with absolute indices ``b*C*V + flat``;
@@ -67,6 +74,17 @@ runs by :mod:`repro.analysis.equivalence`.
    completion) — extracted by the kernel, applied scalar per lane in
    ascending moving-channel ``active_seq`` order, which is exactly the
    object engine's poll order over its insertion-ordered active set.
+
+The relaxed path replaces tiers 2–3 with masked array kernels over the
+slabs: generation writes admitted messages as column scatters, routing
+is a park/wake pass (blocked requests re-test only when a candidate
+VC's release stamp advances — see ``_rel_stamp``) over a tombstoning
+:class:`~repro.simulator.soa.RequestPool`, and move consequences
+(release bookkeeping, ejection, injection completion, per-winner
+commits) are masked scatters in the per-cycle epilogue.  What remains
+per cycle is numpy kernel dispatch roughly balanced across transmit,
+route, and generate — the residual floor recorded in
+docs/performance.md.
 """
 
 from __future__ import annotations
@@ -93,10 +111,18 @@ from repro.routing.base import RoutingAlgorithm
 from repro.routing.tables import RouteTable
 from repro.simulator.config import SimulationConfig
 from repro.simulator.injection import InjectionController
+from repro.simulator.soa import DeliverQueue, MessageSlab, RequestPool
 from repro.stats.counters import SampleRecord
 from repro.topology.base import Link, Topology
-from repro.traffic.arrivals import GeometricArrivals, geometric_gaps
-from repro.traffic.base import TrafficPattern, sample_destinations
+from repro.traffic.arrivals import (
+    GapBuffer,
+    GeometricArrivals,
+    UniformBuffer,
+)
+from repro.traffic.base import (
+    TrafficPattern,
+    destinations_from_uniforms,
+)
 from repro.traffic.load import offered_load_to_rate
 from repro.util.errors import ConfigurationError, DeadlockError
 from repro.util.fingerprint import state_fingerprint as route_state_fingerprint
@@ -138,7 +164,6 @@ class _BatchMessage:
         "src_flat",
         "cached_candidates",
         "route_seq",
-        "route_row",
         "parked",
         "park_epoch",
     )
@@ -169,8 +194,6 @@ class _BatchMessage:
         self.src_flat: Optional[int] = None
         self.cached_candidates: Optional[Sequence[_Candidate]] = None
         self.route_seq = -1
-        #: Relaxed mode: the message's interned RouteTable row (-1 strict).
-        self.route_row = -1
         self.parked = False
         self.park_epoch = 0
 
@@ -190,6 +213,9 @@ class _Lane:
         "gen_arrivals",
         "gen_destinations",
         "gen_routing",
+        "injection_rate",
+        "arr_buf",
+        "dst_buf",
         "arrivals",
         "controller",
         "msgs",
@@ -198,6 +224,7 @@ class _Lane:
         "parked",
         "waiters",
         "delivering",
+        "frozen_pending",
         "owner_py",
         "owned_py",
         "cycle",
@@ -210,6 +237,7 @@ class _Lane:
         "next_active_seq",
         "owned_total",
         "sample",
+        "sample_chunks",
         "sample_flits_base",
         "sample_generated_base",
         "sample_refused_base",
@@ -234,6 +262,7 @@ class _Lane:
         self.off = off
         self.seed = seed
         self.relaxed = relaxed
+        self.injection_rate = injection_rate
         self.rng = RngStreams(seed)
         if relaxed:
             # Relaxed identity: per-phase numpy Generators; the arrival
@@ -256,6 +285,10 @@ class _Lane:
         #: Flat VC indices delivering at their destination, in
         #: registration order (cf. Engine._delivering).
         self.delivering: List[int] = []
+        #: Relaxed/SoA: slab slots of route requests frozen when the
+        #: lane stopped (the shared pool drops them; fingerprints and
+        #: deadlock reports still need the pending set).
+        self.frozen_pending: List[int] = []
         #: Plain-Python mirrors of the owner / per-channel owned-count
         #: array state, so the scalar routing seam reads without numpy
         #: scalar indexing (the arrays are batch-updated in _flush).
@@ -272,6 +305,9 @@ class _Lane:
         #: Reserved VCs across the lane (drives the all-idle early-out).
         self.owned_total = 0
         self.sample: Optional[SampleRecord] = None
+        #: Relaxed/SoA delivery buffering: per-cycle (latency, hops)
+        #: array chunks, materialized into the sample at end_sample.
+        self.sample_chunks: List[Tuple[np.ndarray, np.ndarray]] = []
         self.sample_flits_base = 0
         self.sample_generated_base = 0
         self.sample_refused_base = 0
@@ -287,6 +323,14 @@ class _Lane:
                 STREAM_DESTINATIONS
             )
             self.gen_routing = self.rng.numpy_stream(STREAM_ROUTING)
+            # Prefetch buffers over the fresh streams: every arrival /
+            # destination draw goes through these (stream order
+            # preserved; see GapBuffer), so they renew with the
+            # generators on epoch boundaries.
+            self.arr_buf = GapBuffer(
+                self.injection_rate, self.gen_arrivals
+            )
+            self.dst_buf = UniformBuffer(self.gen_destinations)
         else:
             self.rng_arrivals = self.rng.stream(STREAM_ARRIVALS)
             self.rng_destinations = self.rng.stream(STREAM_DESTINATIONS)
@@ -327,6 +371,7 @@ class BatchEngine:
         topology: Optional[Topology] = None,
         algorithm: Optional[RoutingAlgorithm] = None,
         traffic: Optional[TrafficPattern] = None,
+        slab_slots: Optional[int] = None,
     ) -> None:
         if not seeds:
             raise ConfigurationError("batch backend needs at least one seed")
@@ -385,29 +430,59 @@ class BatchEngine:
         self._links: List[Link] = list(self.topology.links)
 
         # Relaxed identity mode: table-driven routing kernels + batched
-        # numpy rng (see the identity-modes section of the module/config
-        # docs).  The strict path below never reads any of this state.
+        # numpy rng + structure-of-arrays message state (see the
+        # identity-modes section of the module/config docs).  The strict
+        # path below never reads any of this state.
         self._relaxed = config.identity == "relaxed"
-        #: Pending per-channel reserved-VC decrements (releases), applied
-        #: lazily before the loads gather; None unless the relaxed
-        #: least-multiplexed kernel needs load tracking at all.
-        self._pend_ch: Optional[List[int]] = None
         if self._relaxed:
             self._table = RouteTable(self.algorithm)
             self._dest_table = self.traffic.destination_table()
-            #: (src, dst) -> (route row, message class, distance); the
-            #: injection-time algorithm callbacks are deterministic per
-            #: pair, so they run once per pair instead of per message.
-            self._inject_cache: Dict[
-                Tuple[int, int], Tuple[int, Hashable, int]
-            ] = {}
-            if config.selection_policy == "least_multiplexed":
-                #: Per-channel reserved-VC counts, the vectorized
-                #: counterpart of the lanes' owned_py mirrors
-                #: (least-multiplexed loads gather from the flat view).
-                self._owned_ch = np.zeros((b, c), dtype=np.int64)
-                self._owned_ch_f = self._owned_ch.reshape(-1)
-                self._pend_ch = []
+            nn = self.topology.num_nodes
+            self._num_nodes = nn
+            #: Dense (src * N + dst) injection caches — route row,
+            #: interned class id, distance — filled on each pair's first
+            #: arrival (the callbacks are deterministic per pair), then
+            #: gathered array-at-once per generation cycle.
+            self._ic_row = np.full(nn * nn, -1, dtype=np.int64)
+            self._ic_cls = np.zeros(nn * nn, dtype=np.int64)
+            self._ic_dist = np.zeros(nn * nn, dtype=np.int64)
+            self._class_ids: Dict[Hashable, int] = {}
+            self._class_list: List[Hashable] = []
+            #: Outstanding injections, class-major [B, K*N]: the
+            #: vectorized InjectionController occupancy (class columns
+            #: append as classes intern; admission keys are unique per
+            #: lane-cycle because arrival gaps are >= 1).
+            self._outst = np.zeros((b, nn), dtype=np.int64)
+            self._outst_f = self._outst.reshape(-1)
+            #: Per-channel reserved-VC counts: least-multiplexed loads
+            #: and 0->1 activation detection both gather from these
+            #: (relaxed keeps no owned_py mirrors).
+            self._owned_ch = np.zeros((b, c), dtype=np.int64)
+            self._owned_ch_f = self._owned_ch.reshape(-1)
+            #: The SoA message state: no _BatchMessage objects anywhere
+            #: on the relaxed per-cycle path.
+            self._slab = (
+                MessageSlab(b)
+                if slab_slots is None
+                else MessageSlab(b, slab_slots)
+            )
+            self._pool = RequestPool(self._table.cand_flat.shape[1])
+            self._dv = DeliverQueue()
+            #: Cycle each VC was last released (park/wake stamp): a
+            #: pooled request re-tests only when some candidate's stamp
+            #: reaches its blocked-at cycle.  One extra sentinel slot
+            #: at the end holds -inf so the pool's -1 candidate padding
+            #: (which wraps to index b*cv) can never trigger a wake.
+            self._rel_stamp = np.full(b * cv + 1, -1, dtype=np.int64)
+            self._rel_stamp[b * cv] = np.iinfo(np.int64).min
+            #: Per-lane route-request / active-set sequence counters
+            #: (the array counterparts of lane.route_seq and
+            #: lane.next_active_seq).
+            self._rseq = np.zeros(b, dtype=np.int64)
+            self._nact = np.zeros(b, dtype=np.int64)
+            self._progress = np.zeros(b, dtype=bool)
+            #: Reserved VCs across all lanes (transmit-phase early-out).
+            self._owned_any = 0
 
         def flat2(dtype: Any, fill: int = 0) -> Tuple[np.ndarray, np.ndarray]:
             arr = np.full((b, cv), fill, dtype=dtype)
@@ -516,6 +591,11 @@ class BatchEngine:
         self._pa_blocks: List[Tuple[np.ndarray, ...]] = []
         self._pa_act_ch: List[int] = []  # activation: absolute channel
         self._pa_act_seq: List[int] = []  # activation: assigned seq
+        #: SoA-mode array counterparts (strict never appends to these):
+        #: release blocks of absolute indices, and (channel, seq)
+        #: activation block pairs.
+        self._pend_rel_blocks: List[np.ndarray] = []
+        self._pa_act_blocks: List[Tuple[np.ndarray, np.ndarray]] = []
 
         self.cycle = 0
         self.lanes: List[_Lane] = [
@@ -545,8 +625,8 @@ class BatchEngine:
             for lane in self.lanes:
                 # First arrivals at or after cycle 0 (cf.
                 # BatchedGeometricArrivals.start(0, gen)).
-                self._gen_due[lane.index] = -1 + geometric_gaps(
-                    n_nodes, self.injection_rate, lane.gen_arrivals
+                self._gen_due[lane.index] = -1 + lane.arr_buf.take(
+                    n_nodes
                 )
             self._gen_next = int(self._gen_due.min())
         self._running: List[Tuple[int, _Lane]] = list(enumerate(self.lanes))
@@ -593,6 +673,20 @@ class BatchEngine:
             # otherwise keep matching the poll mask every cycle.
             self._gen_due[index] = _ARR_NEVER
             self._gen_next = int(self._gen_due.min())
+            # Pull the lane's pending requests and delivering entries
+            # out of the shared pools so the remaining lanes' kernels
+            # never revisit them; both freeze on the lane
+            # (state_fingerprint and deadlock reports still need them).
+            lane = self.lanes[index]
+            slots_p, _seqs = self._pool.lane_entries(index)
+            if slots_p.shape[0]:
+                lane.frozen_pending.extend(slots_p.tolist())
+            self._pool.drop_lane(index)
+            taken = self._dv.take_lane(index, self._cv)
+            if taken.shape[0]:
+                off = index * self._cv
+                for a in taken.tolist():
+                    lane.delivering.append(a - off)
 
     def run_cycles(self, cycles: int) -> None:
         """Advance every running lane by *cycles* lockstep cycles.
@@ -628,29 +722,28 @@ class BatchEngine:
 
     def step(self) -> None:
         """One lockstep cycle: the object engine's four phases, batched."""
+        if self._relaxed:
+            self._step_soa()
+        else:
+            self._step_strict()
+
+    def _step_strict(self) -> None:
+        """One strict-identity cycle (scalar seam + shared kernels)."""
         cyc = self.cycle
         running = self._running
-        relaxed = self._relaxed
-        if relaxed:
-            if self._gen_next <= cyc:
-                self._generate_relaxed(cyc)
-        else:
-            for _, lane in running:
-                if lane.arrivals.next_due <= cyc:
-                    self._generate_lane(lane, cyc)
+        for _, lane in running:
+            if lane.arrivals.next_due <= cyc:
+                self._generate_lane(lane, cyc)
         eject_flags: Optional[np.ndarray] = None
         for _, lane in running:
             if lane.delivering:
                 eject_flags = self._eject_all(cyc)
                 break
         policy = self.config.selection_policy
-        if relaxed:
-            route_flags = self._route_relaxed(running, policy)
-        else:
-            route_flags = {}
-            for b, lane in running:
-                if lane.route_heap:
-                    route_flags[b] = self._route_lane(lane, b, policy)
+        route_flags = {}
+        for b, lane in running:
+            if lane.route_heap:
+                route_flags[b] = self._route_lane(lane, b, policy)
         moves: Optional[np.ndarray] = None
         for _, lane in running:
             if lane.owned_total:
@@ -679,6 +772,57 @@ class BatchEngine:
         for _, lane in self._running:
             lane.cycle = self.cycle
 
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def _step_soa(self) -> None:
+        """One relaxed-identity cycle over the SoA message state.
+
+        Same four phases; every per-message consequence (injection
+        completion, release bookkeeping, ejection accounting, the
+        epilogue, the winner commits) runs as masked array kernels over
+        the slab — the per-lane loop below touches only O(B) progress
+        counters, never messages.
+        """
+        cyc = self.cycle
+        running = self._running
+        if self._gen_next <= cyc:
+            self._generate_soa(cyc)
+        eject_flags: Optional[np.ndarray] = None
+        if self._dv.n:
+            eject_flags = self._eject_soa(cyc)
+        progress = self._progress
+        progress[:] = False
+        if self._pool.n:
+            self._route_soa(cyc)
+        moves: Optional[np.ndarray] = None
+        if self._owned_any:
+            self._flush()
+            moves = self._transmit_kernel(cyc)
+        dead: List[Tuple[int, _Lane]] = []
+        threshold = self.config.deadlock_threshold
+        moves_list = moves.tolist() if moves is not None else None
+        prog_list = progress.tolist()
+        ej_list = (
+            eject_flags.tolist() if eject_flags is not None else None
+        )
+        for b, lane in running:
+            progressed = prog_list[b]
+            if moves_list is not None:
+                moved = moves_list[b]
+                if moved:
+                    lane.flits_moved_total += moved
+                    progressed = True
+            if ej_list is not None and ej_list[b]:
+                progressed = True
+            if progressed:
+                lane.last_progress = cyc
+            elif lane.in_flight and cyc - lane.last_progress > threshold:
+                dead.append((b, lane))
+        for b, lane in dead:
+            self._fail_lane(b, lane)
+        self.cycle = cyc + 1
+        for _, lane in self._running:
+            lane.cycle = self.cycle
+
     def advance_streams(self, index: int) -> None:
         """Fresh random streams for one lane (between sampling periods)."""
         lane = self.lanes[index]
@@ -687,8 +831,8 @@ class BatchEngine:
         if lane.relaxed:
             # Re-draw the lane's pending gaps from the fresh stream
             # (cf. BatchedGeometricArrivals.reseed).
-            self._gen_due[index] = self.cycle + geometric_gaps(
-                self._num_nodes, self.injection_rate, lane.gen_arrivals
+            self._gen_due[index] = self.cycle + lane.arr_buf.take(
+                self._num_nodes
             )
             self._gen_next = int(self._gen_due.min())
         else:
@@ -700,6 +844,7 @@ class BatchEngine:
         lane = self.lanes[index]
         assert lane.sample is None, "a sample is already active"
         lane.sample = SampleRecord(lane.cycle)
+        lane.sample_chunks = []
         lane.sample_flits_base = lane.flits_moved_total
         lane.sample_generated_base = lane.controller.admitted
         lane.sample_refused_base = lane.controller.refused
@@ -709,6 +854,12 @@ class BatchEngine:
         lane = self.lanes[index]
         sample = lane.sample
         assert sample is not None, "no sample is active"
+        if self._relaxed:
+            # Materialize the buffered per-cycle delivery chunks (the
+            # SoA completion kernel never touches the record itself).
+            for lat, hops in lane.sample_chunks:
+                sample.extend_deliveries(lat.tolist(), hops.tolist())
+            lane.sample_chunks = []
         sample.cycles = lane.cycle - sample.start_cycle
         sample.flits_moved = (
             lane.flits_moved_total - lane.sample_flits_base
@@ -1021,20 +1172,25 @@ class BatchEngine:
         message.cached_candidates = None
 
     # ------------------------------------------------------------------
-    # relaxed identity: batched generation + table-driven routing kernels
+    # relaxed identity: SoA generation + table-driven routing kernels
     # ------------------------------------------------------------------
 
     # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
-    def _generate_relaxed(self, cycle: int) -> None:
-        """Lane-fused counterpart of _generate_lane: one due-mask poll
-        over every lane's per-node schedule, then per-lane batched gap
-        redraws and destination draws (each lane's own streams, sizes
-        determined only by its own schedule — composition-independent).
+    def _generate_soa(self, cycle: int) -> None:
+        """Lane-fused generation straight into the message slab.
+
+        One due-mask poll over every lane's per-node schedule; per due
+        lane: batched gap redraws and destination draws (the lane's own
+        streams, sizes determined only by its own schedule —
+        composition-independent), vectorized injection-limit admission
+        against the outstanding array (due nodes are unique within a
+        poll because gaps are >= 1, so counts cannot interact within a
+        cycle), then one block write of the admitted messages' slab
+        columns and route requests.  No message objects are built.
 
         Frozen lanes hold _ARR_NEVER rows and never match the mask.
-        Gaps are >= 1, so a node fires at most once per poll, and due
-        node ids come out in ascending node order per lane (the scalar
-        heap yields them in heap order — a relaxed-identity difference).
+        Due node ids come out in ascending node order per lane (the
+        scalar heap yields heap order — a relaxed-identity difference).
         """
         due_f = self._gen_due_f
         hits = np.nonzero(due_f <= cycle)[0]
@@ -1047,142 +1203,218 @@ class BatchEngine:
         bounds[1:-1] = cuts
         bounds[-1] = hits.shape[0]
         lanes = self.lanes
-        rate = self.injection_rate
         dest_table = self._dest_table
+        # Only the prefetch-buffer slices are per lane (each lane's own
+        # streams, sizes determined only by its own schedule); the
+        # destination transform is elementwise per draw, so it — and
+        # everything downstream: interning gathers, admission, the
+        # slab/pool block writes — fuses across lanes into one batch
+        # keyed by the lane-id column.
+        u_parts: List[np.ndarray] = []
         for s, e in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
             lane = lanes[int(lanes_h[s])]
-            nodes = nodes_h[s:e]
-            due_f[hits[s:e]] = cycle + geometric_gaps(
-                e - s, rate, lane.gen_arrivals
-            )
-            dsts = sample_destinations(
-                dest_table, nodes, lane.gen_destinations
-            )
-            for node, dst in zip(nodes.tolist(), dsts.tolist()):
-                if dst >= 0:
-                    self._inject_relaxed(lane, node, dst, cycle)
+            due_f[hits[s:e]] = cycle + lane.arr_buf.take(e - s)
+            u_parts.append(lane.dst_buf.take(e - s))
         self._gen_next = int(self._gen_due.min())
-
-    def _inject_relaxed(
-        self, lane: _Lane, src: int, dst: int, cycle: int
-    ) -> bool:
-        """_inject_lane with the per-(src, dst) callbacks memoized and the
-        route state replaced by an interned table row."""
-        entry = self._inject_cache.get((src, dst))
-        if entry is None:
-            algorithm = self.algorithm
-            state = algorithm.new_state(src, dst)
-            entry = (
-                self._table.row_for(src, dst, state),
-                algorithm.message_class(src, dst, state),
-                self.topology.distance(src, dst),
-            )
-            self._inject_cache[(src, dst)] = entry
-        row, msg_class, distance = entry
-        if not lane.controller.try_admit(src, msg_class):
-            return False
-        message = _BatchMessage(
-            msg_id=lane.msg_counter,
-            src=src,
-            dst=dst,
-            distance=distance,
-            route_state=self._table.rep_state[row],
-            msg_class=msg_class,
-            created_at=cycle,
+        if not u_parts:
+            return
+        ub = (
+            u_parts[0]
+            if len(u_parts) == 1
+            else np.concatenate(u_parts)
         )
-        message.route_row = row
-        lane.msg_counter += 1
-        lane.generated_total += 1
-        lane.in_flight += 1
-        lane.msgs[message.msg_id] = message
-        self._enqueue_route(lane, message)
-        return True
+        dsts = destinations_from_uniforms(dest_table, nodes_h, ub)
+        act = dsts >= 0
+        if not act.any():
+            return
+        lb = lanes_h[act]
+        srcs = nodes_h[act]
+        dd = dsts[act]
+        key = srcs * n + dd
+        rows = self._ic_row[key]
+        miss = rows < 0
+        if miss.any():
+            self._intern_pairs(np.unique(key[miss]))
+            rows = self._ic_row[key]
+        cls = self._ic_cls[key]
+        limit = self.config.injection_limit
+        if limit is not None:
+            # Admission keys are unique within the batch (gaps >= 1
+            # mean one arrival per node per lane-cycle), so the masked
+            # increment below cannot self-interact.
+            okey = lb * self._outst.shape[1] + cls * n + srcs
+            admit = self._outst_f[okey] < limit
+            if not admit.all():
+                ref_l = np.bincount(lb[~admit], minlength=self._b)
+                for b in np.nonzero(ref_l)[0].tolist():
+                    lanes[b].controller.refused += int(ref_l[b])
+                lb = lb[admit]
+                if not lb.shape[0]:
+                    return
+                srcs = srcs[admit]
+                dd = dd[admit]
+                key = key[admit]
+                rows = rows[admit]
+                cls = cls[admit]
+                okey = okey[admit]
+            self._outst_f[okey] += 1
+        total = lb.shape[0]
+        slab = self._slab
+        slots = np.empty(total, dtype=np.int32)
+        mids = np.empty(total, dtype=np.int64)
+        seqs = np.empty(total, dtype=np.int64)
+        arange_t = np.arange(total, dtype=np.int64)
+        cuts2 = np.nonzero(lb[1:] != lb[:-1])[0] + 1
+        bounds2 = np.empty(cuts2.shape[0] + 2, dtype=np.intp)
+        bounds2[0] = 0
+        bounds2[1:-1] = cuts2
+        bounds2[-1] = total
+        for s, e in zip(bounds2[:-1].tolist(), bounds2[1:].tolist()):
+            b = int(lb[s])
+            lane = lanes[b]
+            count = e - s
+            slab.ensure(b, count)
+            slots[s:e] = slab.alloc(b, count)
+            within = arange_t[s:e] - s
+            mids[s:e] = lane.msg_counter + within
+            seq0 = int(self._rseq[b])
+            seqs[s:e] = seq0 + within
+            self._rseq[b] = seq0 + count
+            lane.msg_counter += count
+            lane.generated_total += count
+            lane.in_flight += count
+            lane.controller.admitted += count
+        # Column views are read after every ensure() — growth replaces
+        # them but preserves slot numbers, so `g` stays valid.
+        g = lb * slab.capacity + slots
+        slab.src_f[g] = srcs
+        slab.dst_f[g] = dd
+        slab.dist_f[g] = self._ic_dist[key]
+        slab.length_f[g] = self._length
+        slab.inj_f[g] = 0
+        slab.ej_f[g] = 0
+        slab.head_f[g] = srcs
+        slab.head_flat_f[g] = -1
+        slab.tail_flat_f[g] = -1
+        slab.src_flat_f[g] = -1
+        slab.row_f[g] = rows
+        slab.born_f[g] = cycle
+        slab.wait_f[g] = cycle
+        slab.mid_f[g] = mids
+        slab.cls_f[g] = cls
+        slab.live_f[g] = True
+        cf = self._table.cand_flat[rows]
+        cand_abs = np.where(
+            cf >= 0, cf + (lb * self._cv)[:, None], -1
+        )
+        self._pool.extend(lb, slots, seqs, cand_abs)
+
+    def _intern_pairs(self, keys: np.ndarray) -> None:
+        """Intern (src, dst) pairs: route row, class id, distance.
+
+        Amortized cold path — each pair runs the injection-time
+        algorithm callbacks exactly once, like the object engine's
+        memoization; new message classes append a column block to the
+        outstanding array.
+        """
+        algorithm = self.algorithm
+        table = self._table
+        topology = self.topology
+        n = self._num_nodes
+        for key in keys.tolist():
+            src, dst = divmod(key, n)
+            state = algorithm.new_state(src, dst)
+            self._ic_row[key] = table.row_for(src, dst, state)
+            msg_class = algorithm.message_class(src, dst, state)
+            cid = self._class_ids.get(msg_class)
+            if cid is None:
+                cid = len(self._class_list)
+                self._class_ids[msg_class] = cid
+                self._class_list.append(msg_class)
+                if (cid + 1) * n > self._outst.shape[1]:
+                    wide = np.zeros(
+                        (self._b, (cid + 1) * n), dtype=np.int64
+                    )
+                    wide[:, :self._outst.shape[1]] = self._outst
+                    self._outst = wide
+                    self._outst_f = wide.reshape(-1)
+            self._ic_cls[key] = cid
+            self._ic_dist[key] = topology.distance(src, dst)
 
     # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
-    def _route_relaxed(
-        self,
-        running: List[Tuple[int, _Lane]],
-        policy: str,
-    ) -> Dict[int, bool]:
-        """Vectorized routing/VC allocation over every lane's requests.
+    def _route_soa(self, cycle: int) -> None:
+        """Round-based routing/VC allocation over the woken requests.
 
-        Each round gathers all pending requests' candidate rows from the
-        route table, evaluates freeness against the flushed owner array,
-        applies the selection policy with per-lane batched tie-break
-        draws, resolves same-VC conflicts by request order (lowest
-        (lane, route_seq) wins, matching the strict scan order), commits
-        the winners through the scalar bookkeeping seam, and re-rounds
-        the losers.  Requests whose candidates are all busy park exactly
-        as in the strict path.  Terminates because every round either
-        commits or parks at least one request.
+        Park/wake, vectorized: a pooled request re-tests only when it
+        has never been tested or some cached candidate VC's release
+        stamp reached the cycle it blocked (a VC only turns free
+        through a release, so skipped requests provably have zero free
+        candidates — and since blocked requests consume no rng, the
+        stamp test's spurious wakes are draw-for-draw invisible,
+        exactly like the object engine's wake lists).
+
+        The woken subset is ordered by (lane, seq) — the strict
+        sequential scan order — then each round evaluates candidate
+        freeness against the flushed owner array, applies the selection
+        policy with per-lane batched tie-break draws, resolves same-VC
+        conflicts by first occurrence, and commits the winners with
+        masked scatters only (owner/activation writes deferred to
+        _flush, slab columns updated in place).  Requests with no free
+        candidate park with this cycle's stamp.
 
         Rng draws group per lane and depend only on that lane's own
         request state (lanes never contend for each other's VCs), so a
         lane's results are independent of the batch composition.
         """
-        req_lane: List[int] = []
-        req_msgs: List[_BatchMessage] = []
-        flags: Dict[int, bool] = {}
-        for b, lane in running:
-            heap = lane.route_heap
-            if not heap:
-                continue
-            batch = sorted(heap)  # unique seqs: messages never compared
-            heap.clear()
-            for _seq, message in batch:
-                req_lane.append(b)
-                req_msgs.append(message)
-        if not req_msgs:
-            return flags
+        pool = self._pool
+        m = pool.n
+        cand_cols = pool.cand[:, :m]
+        blk = pool.blocked[:m]
+        # -1 candidate padding wraps to _rel_stamp's -inf sentinel;
+        # tombstones carry DEAD_STAMP and can never wake.  One 1-D
+        # gather per candidate position (the transposed pool layout)
+        # beats a single strided 2-D gather ~3x here.
+        rel_stamp = self._rel_stamp
+        wake = blk < 0
+        for w in range(cand_cols.shape[0]):
+            wake |= rel_stamp[cand_cols[w]] >= blk
+        test = np.nonzero(wake)[0]
+        if not test.shape[0]:
+            return
+        lanes_all = pool.lane[:m]
+        order = test[np.lexsort((pool.seq[:m][test], lanes_all[test]))]
+        lanes_p = lanes_all[order]
+        slots_p = pool.slot[:m][order]
+        absc_p = cand_cols[:, order].T
+        valid_p = absc_p >= 0
+        slab = self._slab
+        g_p = lanes_p * slab.capacity + slots_p
+        offs = lanes_p * self._cv
+        rows = slab.row_f[g_p]
+        ups = slab.head_flat_f[g_p].astype(np.int64)
         table = self._table
-        lanes = self.lanes
         v = self._v
-        c = self._c
         owner_f = self._owner_f
-        need_loads = self._pend_ch is not None
-        if need_loads and self._pend_ch:
-            # Land the pending release decrements before any loads gather.
-            np.subtract.at(
-                self._owned_ch_f,
-                np.asarray(self._pend_ch, dtype=np.intp),
-                1,
-            )
-            self._pend_ch.clear()
-        m = len(req_msgs)
-        lane_ids = np.asarray(req_lane, dtype=np.intp)
-        offs = lane_ids * self._cv
-        rows = np.empty(m, dtype=np.intp)
-        req_id = np.empty(m, dtype=np.int64)
-        req_up = np.empty(m, dtype=np.int64)
-        for j, message in enumerate(req_msgs):
-            rows[j] = message.route_row
-            req_id[j] = message.msg_id
-            path = message.path
-            req_up[j] = path[-1] if path else -1
-        act_ch = self._pa_act_ch
-        act_seq = self._pa_act_seq
-        alive = np.arange(m, dtype=np.intp)
+        owned_ch_f = self._owned_ch_f
+        policy = self.config.selection_policy
+        progress = self._progress
+        mt = order.shape[0]
+        blocked = np.zeros(mt, dtype=bool)
+        alive = np.arange(mt, dtype=np.intp)
         while alive.shape[0]:
             # Round start: land the previous round's reservations (and
             # any pending ejection releases) in the owner array.
             self._flush()
             r = rows[alive]
-            cand = table.cand_flat[r]
-            valid = cand >= 0
+            valid = valid_p[alive]
             # Padded (-1) candidates index a garbage cell; every read
             # through `absc` is masked by `valid`.
-            absc = cand + offs[alive][:, None]
+            absc = absc_p[alive]
             free = valid & (owner_f[absc] < 0)
             nfree = free.sum(axis=1)
             has = nfree > 0
             if not has.all():
-                for j in alive[~has].tolist():
-                    lane = lanes[req_lane[j]]
-                    self._park_relaxed(
-                        lane,
-                        req_msgs[j],
-                        table.flats[req_msgs[j].route_row],
-                    )
+                blocked[alive[~has]] = True
                 alive = alive[has]
                 if not alive.shape[0]:
                     break
@@ -1193,18 +1425,18 @@ class BatchEngine:
             if policy == "first":
                 k = free.argmax(axis=1)
             elif policy == "random":
-                t = self._relaxed_tiebreaks(lane_ids[alive], nfree)
+                t = self._relaxed_tiebreaks(lanes_p[alive], nfree)
                 rank = free.cumsum(axis=1) - 1
                 k = (free & (rank == t[:, None])).argmax(axis=1)
             else:  # least_multiplexed
                 # abs // V = lane * C + channel: loads gather without a
                 # second table lookup.
                 loads = np.where(
-                    free, self._owned_ch_f[absc // v], _LOAD_INF
+                    free, owned_ch_f[absc // v], _LOAD_INF
                 )
                 tie = loads == loads.min(axis=1)[:, None]
                 t = self._relaxed_tiebreaks(
-                    lane_ids[alive], tie.sum(axis=1)
+                    lanes_p[alive], tie.sum(axis=1)
                 )
                 rank = tie.cumsum(axis=1) - 1
                 k = (tie & (rank == t[:, None])).argmax(axis=1)
@@ -1217,59 +1449,88 @@ class BatchEngine:
             kw = k[win]
             ca = chosen[win]
             ro = r[win]
-            if need_loads:
-                np.add.at(self._owned_ch_f, ca // v, 1)
-            # Vectorized commit bookkeeping: the flat-array allocation
-            # scatters queue as one block (landed by the next _flush),
-            # successors gather from the table with a scalar fallback
-            # for first-traversal interning.
-            flat_w = ca - offs[jw]
+            g_w = g_p[jw]
+            # Reserved-VC counts and 0->1 activations, in commit order.
+            ch_abs = ca // v
+            first = np.zeros(ch_abs.shape[0], dtype=bool)
+            first[np.unique(ch_abs, return_index=True)[1]] = True
+            newly = first & (owned_ch_f[ch_abs] == 0)
+            np.add.at(owned_ch_f, ch_abs, 1)
+            if newly.any():
+                idx = np.nonzero(newly)[0]
+                self._pa_act_blocks.append(
+                    (
+                        ch_abs[idx],
+                        self._draw_seqs(lanes_p[jw[idx]], self._nact),
+                    )
+                )
+            self._owned_any += int(jw.shape[0])
+            # Allocation scatters queue as one block (landed by the
+            # next _flush); successors gather from the table with a
+            # scalar fallback for first-traversal interning.
             isdst = table.term[ro, kw]
-            up = req_up[jw]
+            up = ups[jw]
             src_mask = up < 0
             up_abs = np.where(src_mask, 0, offs[jw] + up)
             self._pa_blocks.append(
-                (ca, req_id[jw], up, up_abs, src_mask, isdst)
+                (
+                    ca,
+                    slots_p[jw].astype(np.int64),
+                    up,
+                    up_abs,
+                    src_mask,
+                    isdst,
+                )
             )
+            flat_w = ca - offs[jw]
             srows = table.succ[ro, kw]
             nonterm = np.nonzero(~isdst)[0]
             miss = nonterm[srows[nonterm] < 0]
             for i in miss.tolist():
                 srows[i] = table.successor(int(ro[i]), int(kw[i]))
-            rows[jw[nonterm]] = srows[nonterm]
-            for lb in np.unique(lane_ids[jw]).tolist():
-                flags[lb] = True
-            nd = table.cand_dst[ro, kw]
-            rep_state = table.rep_state
-            for j, flat, srow, term, node, s in zip(
-                jw.tolist(),
-                flat_w.tolist(),
-                srows.tolist(),
-                isdst.tolist(),
-                nd.tolist(),
-                src_mask.tolist(),
-            ):
-                b = req_lane[j]
-                lane = lanes[b]
-                message = req_msgs[j]
-                lane.owner_py[flat] = message.msg_id
-                channel = flat // v
-                cnt = lane.owned_py[channel] + 1
-                lane.owned_py[channel] = cnt
-                if cnt == 1:
-                    act_ch.append(b * c + channel)
-                    act_seq.append(lane.next_active_seq)
-                    lane.next_active_seq += 1
-                lane.owned_total += 1
-                message.path.append(flat)
-                if s:
-                    message.src_flat = flat
-                message.head_node = node
-                if not term:
-                    message.route_row = srow
-                    message.route_state = rep_state[srow]
+            slab.row_f[g_w[nonterm]] = srows[nonterm]
+            slab.head_f[g_w] = table.cand_dst[ro, kw]
+            slab.head_flat_f[g_w] = flat_w
+            sm = np.nonzero(src_mask)[0]
+            slab.src_flat_f[g_w[sm]] = flat_w[sm]
+            slab.tail_flat_f[g_w[sm]] = flat_w[sm]
+            progress[lanes_p[jw]] = True
             alive = alive[~win]
-        return flags
+        # Winners tombstone in place; the blocked park with this
+        # cycle's stamp (a release at or after it wakes them);
+        # untested parked entries stay put untouched.  Compaction is
+        # amortized: only once tombstones reach a quarter of the pool.
+        pool.blocked[:m][order[blocked]] = cycle
+        pool.kill(order[~blocked])
+        if pool.dead * 4 > pool.n:
+            pool.prune()
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def _draw_seqs(
+        self, nb: np.ndarray, counter: np.ndarray
+    ) -> np.ndarray:
+        """Per-lane consecutive sequence numbers for the lane-sorted id
+        array *nb* (non-empty), advancing *counter* in place.
+
+        Used for route-request seqs (epilogue order) and active-set
+        seqs (commit order): each lane's entries take consecutive
+        numbers from its own counter, exactly the strict per-lane
+        increment order.
+        """
+        cuts = np.nonzero(nb[1:] != nb[:-1])[0] + 1
+        starts = np.empty(cuts.shape[0] + 1, dtype=np.intp)
+        starts[0] = 0
+        starts[1:] = cuts
+        counts = np.empty(starts.shape[0], dtype=np.int64)
+        counts[:-1] = np.diff(starts)
+        counts[-1] = nb.shape[0] - starts[-1]
+        seg_lanes = nb[starts]
+        base = counter[seg_lanes]
+        within = np.arange(nb.shape[0], dtype=np.int64) - np.repeat(
+            starts, counts
+        )
+        counter[seg_lanes] += counts
+        return np.repeat(base, counts) + within
 
     # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _relaxed_tiebreaks(
@@ -1301,24 +1562,136 @@ class BatchEngine:
             t[idx] = gen.integers(high[idx])
         return t
 
-    def _park_relaxed(
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def _epilogue_soa(
         self,
-        lane: _Lane,
-        message: _BatchMessage,
-        flats: List[int],
+        ev_b: np.ndarray,
+        ev_flat: np.ndarray,
+        ev_slot: np.ndarray,
+        ev_up: np.ndarray,
+        ev_code: np.ndarray,
+        cycle: int,
     ) -> None:
-        """_park over the route table's per-row flat-index list."""
-        epoch = message.park_epoch + 1
-        message.park_epoch = epoch
-        message.parked = True
-        lane.parked[message.msg_id] = message
-        waiters = lane.waiters
-        for flat in flats:
-            bucket = waiters.get(flat)
-            if bucket is None:
-                waiters[flat] = [(epoch, message)]
-            else:
-                bucket.append((epoch, message))
+        """Apply the move consequences as masked scatters over the slab.
+
+        Events arrive sorted by (lane, active-set seq) — the object
+        engine's poll order — so the per-lane route-request seq draws
+        below assign consecutive numbers in exactly the strict order;
+        every other consequence (delivery registration, injection
+        completion, release) is order-free bookkeeping.
+        """
+        slab = self._slab
+        g = ev_b * slab.capacity + ev_slot
+        r0 = np.nonzero(ev_code & 1)[0]
+        if r0.shape[0]:
+            rows0 = slab.row_f[g[r0]]
+            cf = self._table.cand_flat[rows0]
+            cand_abs = np.where(
+                cf >= 0, cf + (ev_b[r0] * self._cv)[:, None], -1
+            )
+            self._pool.extend(
+                ev_b[r0],
+                ev_slot[r0].astype(np.int32),
+                self._draw_seqs(ev_b[r0], self._rseq),
+                cand_abs,
+            )
+            slab.wait_f[g[r0]] = cycle
+        r1 = np.nonzero(ev_code & 2)[0]
+        if r1.shape[0]:
+            self._dv.extend(ev_b[r1] * self._cv + ev_flat[r1])
+        if self.config.injection_limit is not None:
+            r2 = np.nonzero(ev_code & 4)[0]
+            if r2.shape[0]:
+                g2 = g[r2]
+                okey = (
+                    ev_b[r2] * self._outst.shape[1]
+                    + slab.cls_f[g2].astype(np.int64) * self._num_nodes
+                    + slab.src_f[g2]
+                )
+                np.subtract.at(self._outst_f, okey, 1)
+        r3 = np.nonzero(ev_code & 8)[0]
+        if r3.shape[0]:
+            rel = ev_b[r3] * self._cv + ev_up[r3]
+            self._pend_rel_blocks.append(rel)
+            self._rel_stamp[rel] = cycle
+            np.subtract.at(self._owned_ch_f, rel // self._v, 1)
+            self._owned_any -= int(r3.shape[0])
+            # Releases are tail-order: the freed upstream VC was the
+            # worm's tail, and the event's target VC is the next link.
+            slab.tail_flat_f[g[r3]] = ev_flat[r3]
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def _eject_soa(self, cycle: int) -> np.ndarray:
+        """_eject_kernel over the deliver queue with slab accounting.
+
+        Same settled-flit consumption as the strict kernel; the per
+        message ejected count lives in the slab (gathered through the
+        owner array, which stores slots in relaxed mode), and completed
+        messages retire through one masked kernel instead of scalar
+        _complete calls.
+        """
+        dv = self._dv
+        ea = dv.abs[:dv.n]
+        occ_f = self._occ_f
+        settled = occ_f[ea] - (self._la_f[ea] == cycle)
+        pos_idx = np.nonzero(settled > 0)[0]
+        pa = ea[pos_idx]
+        ps = settled[pos_idx]
+        occ_f[pa] -= ps
+        self._fout_f[pa] += ps
+        slab = self._slab
+        gp = (pa // self._cv) * slab.capacity + self._owner_f[pa]
+        ej_new = slab.ej_f[gp] + ps
+        slab.ej_f[gp] = ej_new
+        flags = np.zeros(self._b, dtype=bool)
+        flags[pa // self._cv] = True
+        comp = np.nonzero(ej_new >= self._length)[0]
+        if comp.shape[0]:
+            self._complete_soa(cycle, pa[comp], gp[comp])
+            keep = np.ones(dv.n, dtype=bool)
+            keep[pos_idx[comp]] = False
+            dv.keep(keep)
+        return flags
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def _complete_soa(
+        self, cycle: int, comp_abs: np.ndarray, g: np.ndarray
+    ) -> None:
+        """Retire fully-ejected messages: release the last VC, free the
+        slot, buffer the sample delivery stats as array chunks.
+
+        The stable lane sort preserves each lane's deliver-queue
+        registration order, which is the order strict mode appends
+        sample deliveries in.
+        """
+        slab = self._slab
+        self._pend_rel_blocks.append(comp_abs)
+        self._rel_stamp[comp_abs] = cycle
+        np.subtract.at(self._owned_ch_f, comp_abs // self._v, 1)
+        self._owned_any -= int(comp_abs.shape[0])
+        slab.live_f[g] = False
+        cap = slab.capacity
+        bo = comp_abs // self._cv
+        order = np.argsort(bo, kind="stable")
+        go = g[order]
+        bo = bo[order]
+        lat = cycle - slab.born_f[go]
+        hops = slab.dist_f[go].astype(np.int64)
+        slots = (go - bo * cap).astype(np.int32)
+        cuts = np.nonzero(bo[1:] != bo[:-1])[0] + 1
+        bounds = np.empty(cuts.shape[0] + 2, dtype=np.intp)
+        bounds[0] = 0
+        bounds[1:-1] = cuts
+        bounds[-1] = bo.shape[0]
+        lanes = self.lanes
+        for s, e in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+            lane = lanes[int(bo[s])]
+            count = e - s
+            lane.in_flight -= count
+            lane.delivered_total += count
+            slab.release(int(bo[s]), slots[s:e])
+            if lane.sample is not None:
+                lane.sample_chunks.append((lat[s:e], hops[s:e]))
 
     # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _flush(self) -> None:
@@ -1335,6 +1708,16 @@ class BatchEngine:
             self._owner_f[rel] = -1
             self._txable_f[rel] = False
             pend_rel.clear()
+        rel_blocks = self._pend_rel_blocks
+        if rel_blocks:
+            rel = (
+                rel_blocks[0]
+                if len(rel_blocks) == 1
+                else np.concatenate(rel_blocks)
+            )
+            self._owner_f[rel] = -1
+            self._txable_f[rel] = False
+            rel_blocks.clear()
         rows = self._pa_rows
         if rows:
             c_abs, c_id, c_up, c_up_abs, c_src, c_dst = zip(*rows)
@@ -1365,6 +1748,17 @@ class BatchEngine:
             ] = np.asarray(self._pa_act_seq, dtype=np.int64)
             self._pa_act_ch.clear()
             self._pa_act_seq.clear()
+        act_blocks = self._pa_act_blocks
+        if act_blocks:
+            if len(act_blocks) == 1:
+                chs, seqs = act_blocks[0]
+            else:
+                chs, seqs = (
+                    np.concatenate(parts)
+                    for parts in zip(*act_blocks)
+                )
+            self._active_seq_f[chs] = seqs
+            act_blocks.clear()
 
     # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
     def _flush_alloc(
@@ -1484,6 +1878,12 @@ class BatchEngine:
         sa = abs_m[srcm]
         inj_new = self._inject_f[sa] - 1
         self._inject_f[sa] = inj_new
+        if self._relaxed and sa.shape[0]:
+            # Per-message injected-flit accounting lives in the slab
+            # (owner stores the slot in relaxed mode).
+            slab = self._slab
+            gi = (sa // self._cv) * slab.capacity + self._owner_f[sa]
+            slab.inj_f[gi] += 1
 
         lane_moves = np.bincount(bm, minlength=b)
 
@@ -1506,13 +1906,23 @@ class BatchEngine:
         # in ascending active-set insertion order within each lane.
         seqs = self._active_seq_f[mv]
         sel = idx[np.lexsort((seqs[idx], bm[idx]))]
-        self._transmit_epilogue(
-            bm[sel],
-            flat[sel],
-            self._owner_f[abs_m[sel]],
-            up_g[sel],
-            code[sel],
-        )
+        if self._relaxed:
+            self._epilogue_soa(
+                bm[sel],
+                flat[sel],
+                self._owner_f[abs_m[sel]],
+                up_g[sel].astype(np.int64),
+                code[sel],
+                cycle,
+            )
+        else:
+            self._transmit_epilogue(
+                bm[sel],
+                flat[sel],
+                self._owner_f[abs_m[sel]],
+                up_g[sel],
+                code[sel],
+            )
         return lane_moves
 
     def _transmit_epilogue(
@@ -1562,25 +1972,33 @@ class BatchEngine:
         lane.owner_py[flat] = -1
         lane.owned_py[flat // self._v] -= 1
         lane.owned_total -= 1
-        if self._pend_ch is not None:
-            self._pend_ch.append(
-                lane.index * self._c + flat // self._v
-            )
         self._pend_rel.append(lane.off + flat)
         self._wake_waiters(lane, flat)
 
     def _fail_lane(self, b: int, lane: _Lane) -> None:
         """Record a deadlock on one lane and freeze it; others continue."""
         stuck = []
-        waiting: List[_BatchMessage] = [
-            entry[1] for entry in sorted(lane.route_heap)
-        ]
-        waiting.extend(lane.parked.values())
-        for message in waiting[:8]:
-            stuck.append(
-                f"msg#{message.msg_id} {message.src}->{message.dst} "
-                f"head at {message.head_node}"
-            )
+        if self._relaxed:
+            # The lane's blocked requests sit in the shared pool (this
+            # runs before stop_lane drops them); report from the slab.
+            slots_p, _seqs = self._pool.lane_entries(b)
+            for slot in slots_p[:8].tolist():
+                mv = self._slab.view(b, slot)
+                stuck.append(
+                    f"msg#{mv.msg_id} {mv.src}->{mv.dst} "
+                    f"head at {mv.head_node} "
+                    f"(request queued at cycle {mv.wait_since})"
+                )
+        else:
+            waiting: List[_BatchMessage] = [
+                entry[1] for entry in sorted(lane.route_heap)
+            ]
+            waiting.extend(lane.parked.values())
+            for message in waiting[:8]:
+                stuck.append(
+                    f"msg#{message.msg_id} {message.src}->{message.dst} "
+                    f"head at {message.head_node}"
+                )
         summary = (
             f"no progress for {self.config.deadlock_threshold} cycles at "
             f"cycle {self.cycle} with {lane.in_flight} messages in flight "
@@ -1624,10 +2042,14 @@ class BatchEngine:
             return 0
         return int(self._ejected[b, path[-1]])
 
-    def _iter_live_messages(self, lane: _Lane) -> Iterator[_BatchMessage]:
-        # lane.msgs holds exactly the undelivered messages (inserted at
-        # admission, removed at completion), which is the set
-        # Engine._iter_live_messages walks via queue/heap/parked/owners.
+    def _iter_live_messages(self, lane: _Lane) -> Iterator[Any]:
+        # Strict: lane.msgs holds exactly the undelivered messages
+        # (inserted at admission, removed at completion), which is the
+        # set Engine._iter_live_messages walks via queue/heap/parked/
+        # owners.  Relaxed: the slab's live slots are the same set, and
+        # the yielded MessageView exposes the same attribute names.
+        if self._relaxed:
+            return self._slab.iter_live(lane.index)
         return iter(lane.msgs.values())
 
     def conservation_check(self, index: int) -> bool:
@@ -1638,9 +2060,17 @@ class BatchEngine:
         expected = lane.generated_total * length
         at_source = 0
         ejected = 0
-        for message in self._iter_live_messages(lane):
-            at_source += self._msg_flits_to_inject(index, message)
-            ejected += self._msg_flits_ejected(index, message)
+        if self._relaxed:
+            slab = self._slab
+            live = slab.live[index]
+            at_source = int(
+                (slab.length[index][live] - slab.inj[index][live]).sum()
+            )
+            ejected = int(slab.ej[index][live].sum())
+        else:
+            for message in self._iter_live_messages(lane):
+                at_source += self._msg_flits_to_inject(index, message)
+                ejected += self._msg_flits_ejected(index, message)
         delivered_flits = lane.delivered_total * length
         return expected == (
             at_source + self.network_flits(index) + ejected
@@ -1657,7 +2087,17 @@ class BatchEngine:
         lane = self.lanes[index]
         b = index
         v = self._v
-        own_l = lane.owner_py
+        if self._relaxed:
+            # Relaxed owner cells hold slab slots; map them to the
+            # per-lane message ids the object fingerprint reports.
+            own_row = self._owner[b]
+            own_l = np.where(
+                own_row >= 0,
+                self._slab.mid[b][own_row.clip(min=0)],
+                -1,
+            ).tolist()
+        else:
+            own_l = lane.owner_py
         occ_l = self._occ[b].tolist()
         fin_l = self._fin[b].tolist()
         fout_l = self._fout[b].tolist()
@@ -1690,27 +2130,62 @@ class BatchEngine:
             channels_fp.append(
                 (chm_l[c], rr_l[c], ltx_l[c], tuple(vcs_fp))
             )
-        pending = sorted(
-            [entry[1].msg_id for entry in lane.route_heap]
-            + list(lane.parked)
-        )
-        messages_fp = tuple(
-            sorted(
-                (
-                    message.msg_id,
-                    message.src,
-                    message.dst,
-                    message.created_at,
-                    self._msg_flits_to_inject(b, message),
-                    self._msg_flits_ejected(b, message),
-                    message.head_node,
-                    route_state_fingerprint(message.route_state),
-                )
-                for message in self._iter_live_messages(lane)
+        if self._relaxed:
+            slab = self._slab
+            slots_p, _seqs = self._pool.lane_entries(b)
+            mid_row = slab.mid[b]
+            pending = sorted(
+                int(mid_row[s])
+                for s in slots_p.tolist() + lane.frozen_pending
             )
-        )
+            rep_state = self._table.rep_state
+            messages_fp = tuple(
+                sorted(
+                    (
+                        int(mid_row[s]),
+                        int(slab.src[b][s]),
+                        int(slab.dst[b][s]),
+                        int(slab.born[b][s]),
+                        int(slab.length[b][s] - slab.inj[b][s]),
+                        int(slab.ej[b][s]),
+                        int(slab.head[b][s]),
+                        route_state_fingerprint(
+                            rep_state[int(slab.row[b][s])]
+                        ),
+                    )
+                    for s in np.nonzero(slab.live[b])[0].tolist()
+                )
+            )
+            # Running lanes' delivering flats live in the shared queue
+            # (registration order); stopped lanes froze theirs locally.
+            da = self._dv.abs[:self._dv.n]
+            dflats = (
+                (da[da // self._cv == b] - b * self._cv).tolist()
+                + lane.delivering
+            )
+        else:
+            pending = sorted(
+                [entry[1].msg_id for entry in lane.route_heap]
+                + list(lane.parked)
+            )
+            messages_fp = tuple(
+                sorted(
+                    (
+                        message.msg_id,
+                        message.src,
+                        message.dst,
+                        message.created_at,
+                        self._msg_flits_to_inject(b, message),
+                        self._msg_flits_ejected(b, message),
+                        message.head_node,
+                        route_state_fingerprint(message.route_state),
+                    )
+                    for message in self._iter_live_messages(lane)
+                )
+            )
+            dflats = lane.delivering
         delivering = tuple(
-            (f // v, f % v) for f in lane.delivering
+            (f // v, f % v) for f in dflats
         )
         controller = lane.controller
         if self._relaxed:
@@ -1724,6 +2199,20 @@ class BatchEngine:
                     STREAM_ARRIVALS, STREAM_DESTINATIONS, STREAM_ROUTING
                 )
             )
+            # The outstanding-injection dict lives in the _outst array
+            # in relaxed mode; rebuild the nonzero items (the object
+            # controller deletes keys that reach zero).
+            nzo = np.nonzero(self._outst[b])[0]
+            nn = self._num_nodes
+            outst_items: Tuple[Any, ...] = tuple(
+                sorted(
+                    (
+                        (int(k) % nn, self._class_list[int(k) // nn]),
+                        int(self._outst[b][k]),
+                    )
+                    for k in nzo.tolist()
+                )
+            )
         else:
             next_due = lane.arrivals.next_due
             rng_fp = (
@@ -1731,6 +2220,7 @@ class BatchEngine:
                 lane.rng.stream(STREAM_DESTINATIONS).getstate(),
                 lane.rng.stream(STREAM_ROUTING).getstate(),
             )
+            outst_items = tuple(sorted(controller._outstanding.items()))
         return (
             lane.cycle,
             lane.msg_counter,
@@ -1741,7 +2231,7 @@ class BatchEngine:
             next_due,
             controller.admitted,
             controller.refused,
-            tuple(sorted(controller._outstanding.items())),
+            outst_items,
             tuple(pending),
             messages_fp,
             delivering,

@@ -40,6 +40,16 @@ class SampleRecord:
     def delivered(self) -> int:
         return len(self.deliveries)
 
+    def extend_deliveries(
+        self, latencies: List[int], hops: List[int]
+    ) -> None:
+        """Append one batch of (latency, hops) pairs in delivery order.
+
+        Batched entry point for engines that buffer per-cycle delivery
+        stats as array chunks instead of appending scalar pairs.
+        """
+        self.deliveries.extend(zip(latencies, hops))
+
     def mean_latency(self) -> float:
         """Unweighted mean latency of this sample (0 if empty)."""
         if not self.deliveries:

@@ -111,6 +111,78 @@ def geometric_gaps(
     return gaps.astype(np.int64) + 1
 
 
+#: Draws prefetched per buffer refill (amortizes Generator call and
+#: transform overhead across ~a hundred per-lane polls).
+_BUFFER_CHUNK = 4096
+
+
+class GapBuffer:
+    """Buffered :func:`geometric_gaps` over one lane's arrival stream.
+
+    ``take(k)`` yields exactly the gaps ``geometric_gaps(k, ...)``
+    would — numpy Generators consume the underlying stream uniformly,
+    so prefetching a chunk and serving slices preserves the draw
+    sequence bit for bit while replacing per-poll Generator calls and
+    inverse-CDF transforms with one buffered refill per ~hundred
+    polls.  Consumption sizes depend only on the owning lane's own
+    schedule, keeping arrival draws lane-composition-independent.
+    """
+
+    __slots__ = ("rate", "gen", "_buf", "_pos")
+
+    def __init__(
+        self, rate: float, gen: "np.random.Generator"
+    ) -> None:
+        self.rate = rate
+        self.gen = gen
+        self._buf = np.empty(0, dtype=np.int64)
+        self._pos = 0
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def take(self, count: int) -> np.ndarray:
+        """The next *count* gaps (a read-only view into the buffer)."""
+        if self.rate >= 1.0:
+            return np.ones(count, dtype=np.int64)
+        if self.rate <= 0.0:
+            return np.full(count, _NEVER, dtype=np.int64)
+        pos = self._pos
+        if pos + count > self._buf.shape[0]:
+            fresh = geometric_gaps(
+                max(_BUFFER_CHUNK, count), self.rate, self.gen
+            )
+            self._buf = np.concatenate([self._buf[pos:], fresh])
+            self._pos = pos = 0
+        self._pos = pos + count
+        return self._buf[pos:pos + count]
+
+
+class UniformBuffer:
+    """Buffered ``Generator.random`` draws, served in stream order.
+
+    Same contract as :class:`GapBuffer` but for raw uniforms (the
+    destination draws): ``take(k)`` returns exactly the uniforms
+    ``gen.random(k)`` would.
+    """
+
+    __slots__ = ("gen", "_buf", "_pos")
+
+    def __init__(self, gen: "np.random.Generator") -> None:
+        self.gen = gen
+        self._buf = np.empty(0, dtype=np.float64)
+        self._pos = 0
+
+    # repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+    def take(self, count: int) -> np.ndarray:
+        """The next *count* uniforms (a read-only view)."""
+        pos = self._pos
+        if pos + count > self._buf.shape[0]:
+            fresh = self.gen.random(max(_BUFFER_CHUNK, count))
+            self._buf = np.concatenate([self._buf[pos:], fresh])
+            self._pos = pos = 0
+        self._pos = pos + count
+        return self._buf[pos:pos + count]
+
+
 class BatchedGeometricArrivals:
     """Vectorized counterpart of :class:`GeometricArrivals`.
 
@@ -165,6 +237,8 @@ class BatchedGeometricArrivals:
 
 __all__ = [
     "BatchedGeometricArrivals",
+    "GapBuffer",
     "GeometricArrivals",
+    "UniformBuffer",
     "geometric_gaps",
 ]

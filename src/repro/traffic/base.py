@@ -136,7 +136,19 @@ def sample_destinations(
     :meth:`~TrafficPattern.sample_destination` exactly; only the stream
     of uniforms differs (relaxed identity).
     """
-    u = gen.random(srcs.shape[0])
+    return destinations_from_uniforms(table, srcs, gen.random(srcs.shape[0]))
+
+
+# repro: hot — per-cycle path (HOT001: no allocation-heavy constructs)
+def destinations_from_uniforms(
+    table: np.ndarray, srcs: np.ndarray, u: np.ndarray
+) -> np.ndarray:
+    """:func:`sample_destinations` over caller-supplied uniforms *u*.
+
+    Split out so the batch engine can serve the uniforms from a
+    per-lane prefetch buffer without changing the draw-to-destination
+    mapping.
+    """
     rows = table[srcs]
     drawn = (u[:, None] >= rows).sum(axis=1)
     return np.where(drawn < table.shape[1], drawn, -1)
@@ -168,5 +180,6 @@ class UniformOverSetPattern(TrafficPattern):
 __all__ = [
     "TrafficPattern",
     "UniformOverSetPattern",
+    "destinations_from_uniforms",
     "sample_destinations",
 ]

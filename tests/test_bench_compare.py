@@ -1,0 +1,104 @@
+"""Tests for the ``repro-bench --compare`` regression gate.
+
+Synthetic report dicts only — no engine runs.  The contract: gated
+rows fail on same-host throughput regressions beyond tolerance, the
+congested batch rows are additionally held to flit-event throughput,
+and rows from older baseline schemas that lack a gated field are
+skipped with a warning instead of failing the gate.
+"""
+
+import copy
+
+from repro.benchmarks.engine_speed import _GATED_ROWS, compare_reports
+
+HOST = {"machine": "test", "cpu_count": 4}
+
+
+def report(batch_relaxed=None):
+    """A minimal single-algorithm report with every gated row."""
+    rows = {
+        "idle": {"cycles_per_sec": 1000.0},
+        "congested": {"cycles_per_sec": 500.0},
+        "congested_conservative": {"cycles_per_sec": 400.0},
+        "batch_b32": {
+            "aggregate_cycles_per_sec": 8000.0,
+            "flit_events_per_sec": 90000.0,
+        },
+        "batch_relaxed_b32": batch_relaxed or {
+            "aggregate_cycles_per_sec": 12000.0,
+            "flit_events_per_sec": 140000.0,
+        },
+    }
+    return {"host": dict(HOST), "engines": {"ecube": rows}}
+
+
+class TestCompareGate:
+    def test_identical_reports_pass(self):
+        ok, lines = compare_reports(report(), report(), tolerance=0.2)
+        assert ok
+        assert not any("REGRESSION" in line for line in lines)
+
+    def test_flit_event_rate_is_gated(self):
+        assert ("batch_b32", "flit_events_per_sec") in _GATED_ROWS
+        assert ("batch_relaxed_b32", "flit_events_per_sec") in _GATED_ROWS
+        # Cycle rate holds but flit throughput collapses — the kind of
+        # regression a cycles-only gate would miss (stalled traffic
+        # spins cycles without moving flits).
+        current = report(batch_relaxed={
+            "aggregate_cycles_per_sec": 12000.0,
+            "flit_events_per_sec": 60000.0,
+        })
+        ok, lines = compare_reports(current, report(), tolerance=0.2)
+        assert not ok
+        failing = [line for line in lines if "REGRESSION" in line]
+        assert len(failing) == 1
+        assert "batch_relaxed_b32" in failing[0]
+        assert "flit-ev/s" in failing[0]
+
+    def test_missing_field_in_old_baseline_warns_not_fails(self):
+        baseline = report()
+        for row in ("batch_b32", "batch_relaxed_b32"):
+            del baseline["engines"]["ecube"][row]["flit_events_per_sec"]
+        ok, lines = compare_reports(report(), baseline, tolerance=0.2)
+        assert ok
+        skips = [line for line in lines if "lacks" in line]
+        assert len(skips) == 2
+        assert all("baseline" in line for line in skips)
+
+    def test_missing_field_in_current_warns_not_fails(self):
+        current = report()
+        del current["engines"]["ecube"]["batch_b32"]["flit_events_per_sec"]
+        ok, lines = compare_reports(current, report(), tolerance=0.2)
+        assert ok
+        assert any(
+            "current row lacks 'flit_events_per_sec'" in line
+            for line in lines
+        )
+
+    def test_cross_host_regression_downgrades_to_warning(self):
+        current = report(batch_relaxed={
+            "aggregate_cycles_per_sec": 12000.0,
+            "flit_events_per_sec": 60000.0,
+        })
+        current["host"] = {"machine": "other", "cpu_count": 8}
+        ok, lines = compare_reports(current, report(), tolerance=0.2)
+        assert ok
+        assert any("WARN (host differs)" in line for line in lines)
+
+    def test_idle_rescaling_absorbs_machine_speed(self):
+        # Same host, everything uniformly 2x slower including idle:
+        # the idle-derived scale normalizes it away.
+        current = copy.deepcopy(report())
+        for row in current["engines"]["ecube"].values():
+            for field in row:
+                row[field] = row[field] / 2.0
+        ok, lines = compare_reports(current, report(), tolerance=0.2)
+        assert ok
+        assert any("scale" in line and "0.500" in line for line in lines)
+
+    def test_empty_overlap_fails_the_gate(self):
+        ok, lines = compare_reports(
+            {"host": HOST, "engines": {}}, report(), tolerance=0.2
+        )
+        assert not ok
+        assert any("no comparable gated rows" in line for line in lines)

@@ -359,6 +359,93 @@ class TestResultStore:
         assert stats["dropped_lines"] == 0
         assert not (tmp_path / "absent.jsonl").exists()
 
+    def _stamped_store(self, tmp_path, stamps):
+        """A store with one record per (config, recorded_at) stamp.
+
+        Reuses one simulated result across seeds — retention only looks
+        at keys and stamps, not payloads — and returns the store plus
+        the configs in *stamps* order.
+        """
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        result = run_point(tiny_config(seed=40))
+        configs = []
+        for offset, stamp in enumerate(stamps):
+            config = tiny_config(seed=40 + offset)
+            store.put(config, result)
+            record = store._records[result_key(
+                campaign_signature(config), point_key(config)
+            )]
+            if stamp is None:
+                del record["recorded_at"]  # forge a legacy record
+            else:
+                record["recorded_at"] = stamp
+            configs.append(config)
+        return store, configs
+
+    def test_put_record_stamps_recorded_at(self, tmp_path):
+        import time
+
+        path = tmp_path / "store.jsonl"
+        before = time.time()
+        store = ResultStore(str(path))
+        config = tiny_config(seed=4)
+        store.put(config, run_point(config))
+        record = json.loads(path.read_text().splitlines()[0])
+        assert before <= record["recorded_at"] <= time.time()
+
+    def test_gc_max_age_evicts_oldest_records(self, tmp_path):
+        now = 1_000_000.0
+        store, (old, legacy, fresh) = self._stamped_store(
+            tmp_path, [now - 10 * 86400, None, now - 86400]
+        )
+        stats = store.gc(max_age_days=5, now=now)
+        # The stale record and the unstamped legacy one (treated as
+        # epoch 0, i.e. oldest) both go; the fresh one survives.
+        assert stats["evicted_age"] == 2
+        assert stats["evicted_size"] == 0
+        assert stats["live_records"] == 1
+        reloaded = ResultStore(str(tmp_path / "store.jsonl"))
+        assert reloaded.get(old) is None
+        assert reloaded.get(legacy) is None
+        assert reloaded.get(fresh) is not None
+
+    def test_gc_max_size_evicts_oldest_first(self, tmp_path):
+        store, configs = self._stamped_store(
+            tmp_path, [100.0, 200.0, 300.0]
+        )
+        line = (tmp_path / "store.jsonl").read_text().splitlines()[0]
+        # Budget for exactly two record lines: the oldest goes.
+        budget_mb = (2 * (len(line) + 1) + 10) / (1024 * 1024)
+        stats = store.gc(max_size_mb=budget_mb)
+        assert stats["evicted_size"] == 1
+        assert stats["evicted_age"] == 0
+        # Evictions are not misreported as superseded-duplicate lines.
+        assert stats["dropped_lines"] == 0
+        assert stats["live_records"] == 2
+        reloaded = ResultStore(str(tmp_path / "store.jsonl"))
+        assert reloaded.get(configs[0]) is None
+        assert reloaded.get(configs[1]) is not None
+        assert reloaded.get(configs[2]) is not None
+        size = (tmp_path / "store.jsonl").stat().st_size
+        assert size <= budget_mb * 1024 * 1024
+
+    def test_gc_zero_size_budget_empties_store(self, tmp_path):
+        store, configs = self._stamped_store(tmp_path, [100.0, 200.0])
+        stats = store.gc(max_size_mb=0.0)
+        assert stats["evicted_size"] == 2
+        assert stats["live_records"] == 0
+        assert (tmp_path / "store.jsonl").stat().st_size == 0
+
+    def test_gc_budgets_keep_everything_when_under(self, tmp_path):
+        store, configs = self._stamped_store(tmp_path, [100.0, 200.0])
+        import time
+
+        stats = store.gc(max_age_days=36500.0, max_size_mb=100.0,
+                         now=time.time())
+        assert stats["evicted_age"] == 0
+        assert stats["evicted_size"] == 0
+        assert stats["live_records"] == 2
+
 
 class TestCrossCampaignMemoization:
     def test_shared_points_are_never_resimulated(
@@ -570,6 +657,26 @@ class TestCampaignCli:
         assert "1 superseded line(s) dropped (2 -> 1)" in out
         assert "removed sidecar:" in out
         assert not sidecar.exists()
+
+    def test_gc_subcommand_retention_budgets(
+        self, tmp_path, spec_file, capsys
+    ):
+        store = str(tmp_path / "store.jsonl")
+        campaign_main(["run", spec_file, "--store", store, "--quiet"])
+        capsys.readouterr()
+        # A generous age budget keeps the fresh record; a zero size
+        # budget then evicts it.
+        assert campaign_main(
+            ["gc", "--store", store, "--max-age-days", "365"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted 0 record(s) older than 365 day(s)" in out
+        assert campaign_main(
+            ["gc", "--store", store, "--max-size-mb", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1 record(s) to fit 0 MiB" in out
+        assert len(ResultStore(store)) == 0
 
     def test_usage_errors_exit_2(self, tmp_path, spec_file, capsys):
         store = str(tmp_path / "store.jsonl")
